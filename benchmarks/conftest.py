@@ -1,0 +1,38 @@
+"""Benchmark fixtures.
+
+The world is generated and probed once per session at
+``REPRO_BENCH_SCALE`` (default 0.05 ≈ 8.5k probe targets; the paper is
+scale 1.0 ≈ 147k).  Each benchmark then times one analysis — the code
+that regenerates a specific paper table or figure — and prints the
+reproduced output next to the paper's reference numbers.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core.study import GovernmentDnsStudy
+from repro.worldgen import WorldConfig, WorldGenerator
+
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.05"))
+BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "7"))
+
+
+@pytest.fixture(scope="session")
+def bench_world():
+    config = WorldConfig(seed=BENCH_SEED, scale=BENCH_SCALE)
+    return WorldGenerator(config).generate()
+
+
+@pytest.fixture(scope="session")
+def bench_study(bench_world):
+    study = GovernmentDnsStudy(bench_world)
+    study.dataset()  # run the probe campaign once, up front
+    study.pdns_replication().year_states()  # and the PDNS summarization
+    return study
+
+
+def paper_line(label: str, paper: str, measured: str) -> str:
+    return f"  {label:<42} paper: {paper:<18} measured: {measured}"

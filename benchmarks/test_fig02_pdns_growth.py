@@ -1,0 +1,48 @@
+"""Figure 2: domains and countries with PDNS data, 2011-2020.
+
+Paper shape: domains grow 113.5k → 192.6k with a dip from 2019 to 2020
+(Chinese consolidation); essentially all countries have data.
+"""
+
+from repro.core.replication import PdnsReplicationAnalysis
+from repro.report.figures import Series, render_series
+
+from conftest import BENCH_SCALE, paper_line
+
+
+def test_fig02_pdns_growth(benchmark, bench_study):
+    def compute():
+        analysis = PdnsReplicationAnalysis(
+            bench_study.world.pdns, bench_study.seeds()
+        )
+        return analysis.figure2()
+
+    fig2 = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    domains = {year: counts[0] for year, counts in fig2.items()}
+    countries = {year: counts[1] for year, counts in fig2.items()}
+    print()
+    print(
+        render_series(
+            [
+                Series.from_mapping("domains", domains),
+                Series.from_mapping("countries", countries),
+            ],
+            title="Figure 2 — domains & countries in PDNS per year",
+        )
+    )
+    print(
+        paper_line(
+            "domains 2011 → 2020",
+            "113.5k → 192.6k",
+            f"{domains[2011]} → {domains[2020]} (scale {BENCH_SCALE})",
+        )
+    )
+    print(paper_line("2019 → 2020 dip", "196k → 192.6k",
+                     f"{domains[2019]} → {domains[2020]}"))
+
+    # Shape assertions: monotone growth until 2019, then the dip.
+    assert domains[2020] > domains[2011] * 1.4
+    assert all(domains[y + 1] > domains[y] for y in range(2011, 2019))
+    assert domains[2020] < domains[2019]
+    assert countries[2020] >= 150

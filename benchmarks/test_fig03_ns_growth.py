@@ -1,0 +1,34 @@
+"""Figure 3: nameserver hostnames seen in PDNS, 2011-2020.
+
+Paper shape: grows in step with the domain curve.
+"""
+
+from repro.core.replication import PdnsReplicationAnalysis
+from repro.report.figures import Series, render_series
+
+from conftest import paper_line
+
+
+def test_fig03_ns_growth(benchmark, bench_study):
+    def compute():
+        analysis = PdnsReplicationAnalysis(
+            bench_study.world.pdns, bench_study.seeds()
+        )
+        return analysis.figure3()
+
+    fig3 = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    print()
+    print(
+        render_series(
+            [Series.from_mapping("nameservers", fig3)],
+            title="Figure 3 — nameserver hostnames in PDNS per year",
+        )
+    )
+    print(paper_line("growth 2011 → 2020", "monotone-ish, ~1.7x",
+                     f"{fig3[2011]} → {fig3[2020]}"))
+
+    assert fig3[2020] > fig3[2011] * 1.3
+    # Broad growth: at least 7 of the 9 steps increase.
+    ups = sum(1 for y in range(2011, 2020) if fig3[y + 1] > fig3[y])
+    assert ups >= 7

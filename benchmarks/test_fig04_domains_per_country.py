@@ -1,0 +1,40 @@
+"""Figure 4: domains per country in PDNS, 2020.
+
+Paper shape: a four-orders-of-magnitude heavy tail with China,
+Thailand, and Brazil on top.
+"""
+
+from repro.core.replication import PdnsReplicationAnalysis
+from repro.report.figures import Distribution, render_bars
+
+from conftest import paper_line
+
+
+def test_fig04_domains_per_country(benchmark, bench_study):
+    def compute():
+        analysis = PdnsReplicationAnalysis(
+            bench_study.world.pdns, bench_study.seeds()
+        )
+        return analysis.figure4(2020)
+
+    fig4 = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    distribution = Distribution.from_mapping("domains", fig4)
+    print()
+    print(
+        render_bars(
+            distribution.top(15),
+            title="Figure 4 — domains per country, PDNS 2020 (top 15)",
+            value_format="{:.0f}",
+        )
+    )
+    top3 = [label for label, _ in distribution.values[:3]]
+    print(paper_line("top countries", "CN, TH, BR lead", ", ".join(top3)))
+
+    counts = sorted(fig4.values(), reverse=True)
+    assert top3[0] == "CN"
+    assert set(top3) <= {"CN", "TH", "BR"}
+    # Heavy tail: top country ≥ 50x the median country.
+    median = counts[len(counts) // 2]
+    assert counts[0] >= 50 * max(median, 1)
+    assert len(fig4) >= 150

@@ -1,0 +1,44 @@
+"""Figure 7: private (in-d_gov) deployments, d_1NS vs all domains.
+
+Paper shape: >71% of single-NS domains self-host every year, versus
+<34% of domains overall — single-NS deployments are predominantly small
+entities running their own box.
+"""
+
+from repro.core.replication import PdnsReplicationAnalysis
+from repro.report.figures import Series, render_series
+
+from conftest import paper_line
+
+
+def test_fig07_private_deployment(benchmark, bench_study):
+    def compute():
+        analysis = PdnsReplicationAnalysis(
+            bench_study.world.pdns, bench_study.seeds()
+        )
+        return analysis.figure7()
+
+    fig7 = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    singles = {y: s * 100 for y, (s, _) in fig7.items()}
+    overall = {y: o * 100 for y, (_, o) in fig7.items()}
+    print()
+    print(
+        render_series(
+            [
+                Series.from_mapping("d_1NS private %", singles),
+                Series.from_mapping("all private %", overall),
+            ],
+            title="Figure 7 — private ADNS deployment share per year",
+            y_format="{:.1f}",
+        )
+    )
+    print(paper_line("d_1NS private floor", ">71% every year",
+                     f"min {min(singles.values()):.0f}%"))
+    print(paper_line("overall private ceiling", "<34% every year",
+                     f"max {max(overall.values()):.0f}%"))
+
+    for year in fig7:
+        assert singles[year] > overall[year] + 20  # the gap is the finding
+    assert min(singles.values()) > 55
+    assert max(overall.values()) < 45

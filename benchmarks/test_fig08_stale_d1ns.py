@@ -1,0 +1,33 @@
+"""Figure 8: share of single-NS domains with no authoritative response.
+
+Paper shape: 60.1% of d_1NS are stale overall, with some d_gov far
+higher (Indonesia, Kyrgyzstan, Mexico above one half).
+"""
+
+from repro.core.replication import ActiveReplicationAnalysis
+from repro.report.figures import Distribution, render_bars
+
+from conftest import paper_line
+
+
+def test_fig08_stale_d1ns(benchmark, bench_study):
+    def compute():
+        analysis = ActiveReplicationAnalysis(bench_study.dataset())
+        return analysis.figure8_overall(), analysis.figure8_by_country(min_singles=3)
+
+    overall, by_country = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    print()
+    print(
+        render_bars(
+            Distribution.from_mapping(
+                "stale share", {k: v * 100 for k, v in by_country.items()}
+            ).top(15),
+            title="Figure 8 — % of d_1NS with no authoritative response",
+        )
+    )
+    print(paper_line("overall stale d_1NS", "60.1%", f"{overall * 100:.1f}%"))
+
+    assert 0.40 < overall < 0.80
+    if by_country:
+        assert max(by_country.values()) > overall  # hot spots exist

@@ -1,0 +1,44 @@
+"""Figure 9: CDF of the number of nameservers listed per domain.
+
+Paper shape: 98.4% of domains list at least two nameservers; over half
+of the countries (109) have no single-NS domain at all, while for 15
+countries at least 10% of domains are single-NS.
+"""
+
+from repro.core.replication import ActiveReplicationAnalysis
+from repro.report.figures import Series, cdf_points, render_series
+
+from conftest import paper_line
+
+
+def test_fig09_ns_cdf(benchmark, bench_study):
+    def compute():
+        analysis = ActiveReplicationAnalysis(bench_study.dataset())
+        return (
+            analysis.figure9_distribution(),
+            analysis.share_with_at_least(2),
+            analysis.countries_fully_replicated(),
+            analysis.countries_with_single_ns_share_over(0.10),
+        )
+
+    histogram, ge2, fully, hotspots = benchmark.pedantic(
+        compute, rounds=1, iterations=1
+    )
+
+    cdf = dict(cdf_points(histogram))
+    print()
+    print(
+        render_series(
+            [Series.from_mapping("CDF", {k: v * 100 for k, v in cdf.items()})],
+            title="Figure 9 — CDF of #nameservers per domain (%)",
+            y_format="{:.1f}",
+        )
+    )
+    print(paper_line("domains with ≥2 NS", "98.4%", f"{ge2 * 100:.2f}%"))
+    print(paper_line("countries with no d_1NS", "109", str(fully)))
+    print(paper_line("countries ≥10% d_1NS", "15", str(len(hotspots))))
+
+    assert 0.95 < ge2 < 1.0
+    assert max(histogram, key=histogram.get) == 2
+    assert fully > 60
+    assert 3 <= len(hotspots) <= 40

@@ -1,0 +1,56 @@
+"""Figure 10 (a/b): defective delegations overall and per country.
+
+Paper shape: 29.5% of domains have some defective delegation, 25.4%
+partial-only (so a few percent fully defective), and the distribution
+is dominated by a few d_gov with many stale subdomains (Turkey, Brazil,
+Mexico).
+"""
+
+from repro.core.delegation import DelegationAnalysis
+from repro.report.figures import Distribution, render_bars
+
+from conftest import paper_line
+
+
+def test_fig10_defective(benchmark, bench_study):
+    def compute():
+        analysis = DelegationAnalysis(
+            bench_study.dataset(),
+            registrar=bench_study.world.registrar,
+        )
+        return analysis.prevalence(), analysis.figure10_by_country()
+
+    prevalence, by_country = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    print()
+    print(
+        render_bars(
+            Distribution.from_mapping(
+                "any-defect %",
+                {
+                    iso2: row["any"] * 100
+                    for iso2, row in by_country.items()
+                    if row["domains"] >= 20
+                },
+            ).top(20),
+            title="Figure 10 — % of domains with a defective delegation "
+            "(countries with ≥20 domains)",
+        )
+    )
+    print(paper_line("any defective", "29.5%", f"{prevalence['any']*100:.1f}%"))
+    print(paper_line("partially defective", "25.4%", f"{prevalence['partial']*100:.1f}%"))
+    print(paper_line("fully defective", "~4.1%", f"{prevalence['full']*100:.1f}%"))
+
+    assert 0.22 < prevalence["any"] < 0.38
+    assert 0.18 < prevalence["partial"] < 0.33
+    assert 0.02 < prevalence["full"] < 0.09
+    assert prevalence["partial"] > prevalence["full"] * 3
+
+    # The calibrated hot spots rank high.
+    sizable = {
+        iso2: row["any"]
+        for iso2, row in by_country.items()
+        if row["domains"] >= 50
+    }
+    if {"TR", "AU"} <= set(sizable):
+        assert sizable["TR"] > sizable["AU"]

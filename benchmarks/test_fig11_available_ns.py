@@ -1,0 +1,59 @@
+"""Figure 11: registrable (hijackable) nameserver domains by country.
+
+Paper shape: 805 registrable d_ns serving 1,121 domains across 49
+countries; most exposed domains are entirely silent (stale), and
+victims cluster within single d_gov (shared dead providers).
+"""
+
+from repro.core.delegation import DelegationAnalysis
+from repro.report.figures import Distribution, render_bars
+
+from conftest import BENCH_SCALE, paper_line
+
+
+def test_fig11_available_ns(benchmark, bench_study):
+    def compute():
+        analysis = DelegationAnalysis(
+            bench_study.dataset(),
+            registrar=bench_study.world.registrar,
+            government_suffixes={
+                iso2: seed.d_gov
+                for iso2, seed in bench_study.seeds().items()
+            },
+        )
+        exposure = analysis.hijack_exposure()
+        return exposure, analysis.figure11_by_country(exposure)
+
+    exposure, by_country = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    print()
+    print(
+        render_bars(
+            Distribution.from_mapping(
+                "victims", {k: float(v) for k, (v, _) in by_country.items()}
+            ).top(15),
+            title="Figure 11 — hijack-exposed domains by country",
+            value_format="{:.0f}",
+        )
+    )
+    scaled = lambda n: round(n * BENCH_SCALE)
+    print(paper_line("registrable d_ns", f"805 (≈{scaled(805)} at this scale)",
+                     str(len(exposure.available))))
+    print(paper_line("victim domains", f"1,121 (≈{scaled(1121)})",
+                     str(len(exposure.victim_domains))))
+    print(paper_line("countries affected", "49", str(len(exposure.countries))))
+    print(paper_line("silent (fully stale) victims", "625 of 1,121 (56%)",
+                     f"{len(exposure.silent_victims)} of {len(exposure.victim_domains)}"))
+
+    victims = len(exposure.victim_domains)
+    dns_count = len(exposure.available)
+    assert dns_count > 0 and victims > 0
+    # Same order of magnitude as the paper, scaled.
+    assert scaled(805) / 4 <= dns_count <= scaled(805) * 4
+    assert scaled(1121) / 4 <= victims <= scaled(1121) * 4
+    # Reuse: more victims than registrable domains (shared dead hosts).
+    assert victims >= dns_count
+    assert 1.0 <= victims / dns_count <= 3.0  # paper: 1.39
+    # A meaningful share of victims never answered at all.
+    assert len(exposure.silent_victims) / victims > 0.15
+    assert len(exposure.countries) >= 10

@@ -1,0 +1,53 @@
+"""Figure 12: cost to register the available nameserver domains.
+
+Paper shape: prices from $0.01 to $20,000 with the median at $11.99 —
+a retail-list-price bulge with promo and premium tails.  The takeaway
+("the cost to leverage one of these dangling records is not high") is
+asserted as: at least half the exposed domains cost under $20.
+"""
+
+from repro.core.delegation import DelegationAnalysis
+from repro.report.tables import render_table
+
+from conftest import paper_line
+
+
+def test_fig12_cost(benchmark, bench_study):
+    def compute():
+        analysis = DelegationAnalysis(
+            bench_study.dataset(),
+            registrar=bench_study.world.registrar,
+            government_suffixes={
+                iso2: seed.d_gov
+                for iso2, seed in bench_study.seeds().items()
+            },
+        )
+        exposure = analysis.hijack_exposure()
+        return exposure.prices(), exposure.price_stats()
+
+    prices, stats = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    buckets = [
+        ("< $1", sum(1 for p in prices if p < 1)),
+        ("$1 - $20", sum(1 for p in prices if 1 <= p < 20)),
+        ("$20 - $300", sum(1 for p in prices if 20 <= p < 300)),
+        ("$300 - $20k", sum(1 for p in prices if p >= 300)),
+    ]
+    print()
+    print(
+        render_table(
+            ["Price band", "d_ns"],
+            buckets,
+            title="Figure 12 — registration-cost distribution",
+        )
+    )
+    print(paper_line("min / median / max", "$0.01 / $11.99 / $20,000",
+                     f"${stats['min']:.2f} / ${stats['median']:.2f} / "
+                     f"${stats['max']:.2f}"))
+
+    assert prices
+    assert stats["min"] < 5.0
+    assert 8.0 <= stats["median"] <= 20.0
+    assert stats["max"] > 300.0
+    cheap = sum(1 for p in prices if p < 20)
+    assert cheap / len(prices) >= 0.5

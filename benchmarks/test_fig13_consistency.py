@@ -1,0 +1,72 @@
+"""Figure 13: parent/child NS-set consistency taxonomy.
+
+Paper shape: 76.8% of responsive domains have P = C; level-2 domains
+are far more consistent (93.5%) than deeper ones (≤77%); 40.9% of
+inconsistent domains also carry a partial defect; and a handful of
+non-defective inconsistent cases dangle from registrable provider
+domains (13 d_ns / 26 victims, minimum $300).
+"""
+
+from repro.core.consistency import ConsistencyAnalysis, ConsistencyClass
+from repro.core.delegation import DelegationAnalysis
+from repro.report.tables import format_percent, render_table
+
+from conftest import paper_line
+
+
+def test_fig13_consistency(benchmark, bench_study):
+    suffixes = {
+        iso2: seed.d_gov for iso2, seed in bench_study.seeds().items()
+    }
+
+    def compute():
+        consistency = ConsistencyAnalysis(
+            bench_study.dataset(),
+            registrar=bench_study.world.registrar,
+            government_suffixes=suffixes,
+        )
+        delegation = DelegationAnalysis(
+            bench_study.dataset(),
+            registrar=bench_study.world.registrar,
+            government_suffixes=suffixes,
+        )
+        return (
+            consistency.figure13(),
+            consistency.consistency_by_level(),
+            consistency.share_inconsistent_with_partial_defect(delegation),
+            consistency.dangling_scan(delegation),
+        )
+
+    fig13, by_level, defect_share, dangling = benchmark.pedantic(
+        compute, rounds=1, iterations=1
+    )
+
+    print()
+    print(
+        render_table(
+            ["Class", "Share"],
+            [[verdict, format_percent(share)] for verdict, share in fig13.items()],
+            title="Figure 13 — parent/child consistency",
+        )
+    )
+    print(paper_line("P = C", "76.8%", format_percent(fig13[ConsistencyClass.EQUAL])))
+    print(paper_line("inconsistent with partial defect", "40.9%",
+                     format_percent(defect_share)))
+    print(paper_line("dangling-but-responsive d_ns", "13 d_ns / 26 domains / ≥$300",
+                     f"{len(dangling)} d_ns / "
+                     f"{sum(len(v[1]) for v in dangling.values())} domains"))
+
+    assert 0.68 < fig13[ConsistencyClass.EQUAL] < 0.85
+    assert sum(fig13.values()) > 0.999
+    # Every inconsistency class is represented.
+    for verdict in ConsistencyClass.ALL:
+        assert fig13[verdict] >= 0.0
+    assert fig13[ConsistencyClass.C_SUBSET_P] > 0.01
+    assert fig13[ConsistencyClass.P_SUBSET_C] > 0.01
+    # Deeper domains disagree more than second-level ones on average.
+    if 2 in by_level and 3 in by_level:
+        assert by_level[2] >= by_level[3] - 0.05
+    assert 0.15 < defect_share < 0.70
+    # The injected dangling-but-responsive cases surface, priced ≥ $300.
+    assert dangling
+    assert all(quote.price_usd >= 300 for quote, _ in dangling.values())

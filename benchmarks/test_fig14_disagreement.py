@@ -1,0 +1,40 @@
+"""Figure 14: distribution of the disagreement rate per d_gov.
+
+Paper shape: wide spread — the highest-disagreement countries tend to
+have few responsive domains, but some large countries also disagree
+often; the bulk of countries sit well below 50%.
+"""
+
+from repro.core.consistency import ConsistencyAnalysis
+from repro.report.figures import Distribution, render_bars
+
+from conftest import paper_line
+
+
+def test_fig14_disagreement(benchmark, bench_study):
+    def compute():
+        analysis = ConsistencyAnalysis(bench_study.dataset())
+        return analysis.figure14_by_country(min_domains=3)
+
+    rates = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    print()
+    print(
+        render_bars(
+            Distribution.from_mapping(
+                "disagreement %", {k: v * 100 for k, v in rates.items()}
+            ).top(20),
+            title="Figure 14 — P≠C rate per d_gov (top 20)",
+        )
+    )
+    values = sorted(rates.values())
+    median = values[len(values) // 2]
+    print(paper_line("median country disagreement", "~20-25%", f"{median*100:.1f}%"))
+    print(paper_line("countries classified", "most of 193", str(len(rates))))
+
+    assert len(rates) > 60
+    assert 0.08 < median < 0.40
+    # Spread exists: some countries disagree several times more than
+    # the median, none exceed 100%.
+    assert max(values) > 2 * median or max(values) > 0.5
+    assert all(0.0 <= v <= 1.0 for v in values)

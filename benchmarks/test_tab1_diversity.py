@@ -1,0 +1,62 @@
+"""Table I: IP / /24-prefix / ASN diversity of multi-NS deployments.
+
+Paper shape (total row): 89.8% multi-IP, 71.5% multi-/24, 32.9%
+multi-ASN; China leads diversity, Thailand is the single-IP outlier,
+and every column is monotone (IP ≥ /24 ≥ ASN).
+"""
+
+from repro.core.diversity import DiversityAnalysis
+from repro.report.tables import format_percent, render_table
+
+from conftest import paper_line
+
+
+def test_tab1_diversity(benchmark, bench_study):
+    def compute():
+        analysis = DiversityAnalysis(
+            bench_study.dataset(), bench_study.world.geoip
+        )
+        return analysis.table1()
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    print()
+    print(
+        render_table(
+            ["", "Domains", "|IP|>1", "|/24|>1", "|ASN|>1"],
+            [
+                [
+                    row.label,
+                    row.domains,
+                    format_percent(row.multi_ip_share),
+                    format_percent(row.multi_prefix_share),
+                    format_percent(row.multi_asn_share),
+                ]
+                for row in rows
+            ],
+            title="Table I — nameserver address diversity",
+        )
+    )
+    total = rows[0]
+    print(paper_line("total row", "89.8% / 71.5% / 32.9%",
+                     f"{total.multi_ip_share*100:.1f}% / "
+                     f"{total.multi_prefix_share*100:.1f}% / "
+                     f"{total.multi_asn_share*100:.1f}%"))
+
+    assert total.multi_ip_share > total.multi_prefix_share > total.multi_asn_share
+    assert 0.82 < total.multi_ip_share < 0.98
+    assert 0.60 < total.multi_prefix_share < 0.90
+    assert 0.20 < total.multi_asn_share < 0.50
+
+    by_label = {row.label: row for row in rows}
+    assert "CN" in by_label and by_label["CN"].domains == max(
+        r.domains for r in rows[1:]
+    )
+    if "TH" in by_label:
+        # Thailand's shared single-IP pairs drag its multi-IP share far
+        # below everyone else's.
+        assert by_label["TH"].multi_ip_share < total.multi_ip_share - 0.2
+    if "AU" in by_label:
+        # Australia: well spread across prefixes, concentrated in ASNs.
+        assert by_label["AU"].multi_prefix_share > 0.75
+        assert by_label["AU"].multi_asn_share < 0.30

@@ -1,0 +1,76 @@
+"""Table II: government usage of major DNS providers, 2011 vs 2020.
+
+Paper shape: Amazon 5 → 5,193 domains and Cloudflare 12 → 4,136
+(orders of magnitude); Azure appears from nothing; GoDaddy roughly
+quintuples; DNSPod stays China-bound; most usage is single-provider
+(d_1P ≈ domains).
+"""
+
+from repro.core.centralization import CentralizationAnalysis, MAJOR_PROVIDERS
+from repro.report.tables import format_percent, render_table
+
+from conftest import BENCH_SCALE, paper_line
+
+
+def test_tab2_major_providers(benchmark, bench_study):
+    def compute():
+        analysis = CentralizationAnalysis(bench_study.pdns_replication())
+        return analysis.table2()
+
+    table = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    rows = []
+    for provider in sorted(table):
+        u11, u20 = table[provider][2011], table[provider][2020]
+        rows.append(
+            [
+                provider,
+                u11.domains,
+                u11.single_provider_domains,
+                u11.groups,
+                u20.domains,
+                u20.single_provider_domains,
+                u20.groups,
+            ]
+        )
+    print()
+    print(
+        render_table(
+            ["Provider", "2011 dom", "2011 d1P", "2011 grp",
+             "2020 dom", "2020 d1P", "2020 grp"],
+            rows,
+            title=f"Table II — major provider usage (scale {BENCH_SCALE})",
+        )
+    )
+    amazon = table["amazon"]
+    cloudflare = table["cloudflare"]
+    azure = table["azure"]
+    print(paper_line("Amazon domains", "5 → 5,193 (0.0% → 2.7%)",
+                     f"{amazon[2011].domains} → {amazon[2020].domains} "
+                     f"({amazon[2011].domain_share*100:.1f}% → {amazon[2020].domain_share*100:.1f}%)"))
+    print(paper_line("Cloudflare domains", "12 → 4,136 (0.0% → 2.1%)",
+                     f"{cloudflare[2011].domains} → {cloudflare[2020].domains} "
+                     f"({cloudflare[2020].domain_share*100:.1f}% in 2020)"))
+    print(paper_line("Azure domains", "0 → 1,574",
+                     f"{azure[2011].domains} → {azure[2020].domains}"))
+
+    # Who wins and by what factor: the cloud providers explode.
+    assert amazon[2020].domains > max(20 * max(amazon[2011].domains, 1), 30)
+    assert cloudflare[2020].domains > max(
+        15 * max(cloudflare[2011].domains, 1), 30
+    )
+    assert azure[2011].domains == 0 and azure[2020].domains > 10
+    assert 0.015 < amazon[2020].domain_share < 0.045
+    assert 0.012 < cloudflare[2020].domain_share < 0.040
+    # GoDaddy grows but far more modestly.
+    godaddy = table["godaddy"]
+    assert godaddy[2020].domains > godaddy[2011].domains
+    assert godaddy[2020].domains < amazon[2020].domains
+    # DNSPod stays essentially single-country.
+    dnspod = table["dnspod"]
+    assert dnspod[2020].countries <= 2
+    # d_1P dominates usage for the managed-DNS providers.
+    assert (
+        cloudflare[2020].single_provider_domains
+        > cloudflare[2020].domains * 0.5
+    )

@@ -1,0 +1,134 @@
+#!/usr/bin/env python3
+"""Audit one country's government DNS estate, CERT-style.
+
+Given an ISO-3166 alpha-2 code, run the paper's pipeline scoped to that
+country and produce the report a national CERT would want: replication
+posture, defective delegations with the responsible nameservers, the
+parent/child disagreements, and any registrable (hijackable) nameserver
+domains with prices.
+
+Run:  python examples/audit_country.py [ISO2] [scale]
+e.g.  python examples/audit_country.py TR 0.02
+"""
+
+import sys
+
+from repro import GovernmentDnsStudy, WorldConfig, WorldGenerator
+from repro.report import format_percent, render_table
+
+
+def main() -> None:
+    iso2 = (sys.argv[1] if len(sys.argv) > 1 else "TR").upper()
+    scale = float(sys.argv[2]) if len(sys.argv) > 2 else 0.02
+
+    world = WorldGenerator(WorldConfig(seed=7, scale=scale)).generate()
+    study = GovernmentDnsStudy(world)
+    seed = study.seeds().get(iso2)
+    if seed is None:
+        raise SystemExit(f"no seed domain found for {iso2!r}")
+    print(f"Auditing {world.profiles[iso2].country.name} — d_gov = {seed.d_gov}")
+
+    results = [r for r in study.dataset() if r.iso2 == iso2]
+    listed = [r for r in results if r.parent_nonempty]
+    responsive = [r for r in results if r.responsive]
+    print(
+        f"{len(results)} domains probed; {len(listed)} still delegated; "
+        f"{len(responsive)} answer authoritatively"
+    )
+
+    # Replication posture -------------------------------------------------
+    singles = [r for r in listed if r.ns_count == 1]
+    print()
+    print(
+        render_table(
+            ["Posture", "Count", "Share"],
+            [
+                ["single nameserver", len(singles),
+                 format_percent(len(singles) / max(len(listed), 1))],
+                ["silent single-NS (stale)",
+                 sum(1 for r in singles if not r.responsive),
+                 format_percent(
+                     sum(1 for r in singles if not r.responsive)
+                     / max(len(singles), 1)
+                 )],
+            ],
+            title="Replication posture",
+        )
+    )
+
+    # Defective delegations -----------------------------------------------
+    delegation = study.delegation()
+    reports = [
+        rep for rep in delegation.reports().values() if rep.iso2 == iso2
+    ]
+    defective = [rep for rep in reports if rep.any_defect]
+    print()
+    print(
+        f"Defective delegations: {len(defective)} of {len(reports)} "
+        f"({format_percent(len(defective) / max(len(reports), 1))})"
+    )
+    worst = sorted(defective, key=lambda rep: -len(rep.defective_ns))[:8]
+    if worst:
+        print(
+            render_table(
+                ["Domain", "Verdict", "Broken nameservers"],
+                [
+                    [
+                        str(rep.domain),
+                        rep.verdict,
+                        ", ".join(str(h) for h in rep.defective_ns[:3]),
+                    ]
+                    for rep in worst
+                ],
+                title="Most-affected domains",
+            )
+        )
+
+    # Parent/child disagreements -------------------------------------------
+    consistency = study.consistency()
+    disagreements = [
+        rep
+        for rep in consistency.reports().values()
+        if rep.iso2 == iso2 and not rep.consistent
+    ]
+    print()
+    print(f"Parent/child disagreements: {len(disagreements)}")
+    for rep in disagreements[:5]:
+        extras = ", ".join(str(h) for h in (rep.parent_only + rep.child_only)[:3])
+        print(f"  {rep.domain}  [{rep.verdict}]  exclusive: {extras}")
+
+    # Hijack exposure -------------------------------------------------------
+    exposure = delegation.hijack_exposure()
+    mine = {
+        dns_domain: [
+            v for v in victims if exposure.victim_country.get(v) == iso2
+        ]
+        for dns_domain, victims in exposure.victims_by_dns.items()
+    }
+    mine = {d: v for d, v in mine.items() if v}
+    print()
+    if not mine:
+        print("Hijack exposure: none found — no defective nameserver "
+              "domain is open for registration.")
+    else:
+        print("Hijack exposure — REGISTER THESE BEFORE SOMEONE ELSE DOES:")
+        print(
+            render_table(
+                ["Nameserver domain", "Price", "Government domains it controls"],
+                [
+                    [
+                        str(dns_domain),
+                        f"${exposure.available[dns_domain].price_usd:,.2f}",
+                        ", ".join(str(v) for v in victims[:3])
+                        + ("…" if len(victims) > 3 else ""),
+                    ]
+                    for dns_domain, victims in sorted(
+                        mine.items(), key=lambda kv: -len(kv[1])
+                    )
+                ],
+            )
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,157 @@
+#!/usr/bin/env python3
+"""End-to-end hijack demonstration (paper §IV-C/D, executed).
+
+The paper *finds* registrable nameserver domains and argues they enable
+hijacking; this example closes the loop inside the simulator:
+
+1. run the hijack scan and pick the cheapest registrable d_ns;
+2. play the adversary — register it at the registrar and stand up a
+   domain-parking nameserver at addresses of our choosing;
+3. resolve the victim government domains again and show their lookups
+   now land on attacker infrastructure.
+
+Everything happens on the simulated network; this is the verification
+step the authors list as future work (§V-A), safe to run here because
+nothing is real.
+
+Run:  python examples/hijack_demo.py [scale]
+"""
+
+import sys
+
+from repro import GovernmentDnsStudy, WorldConfig, WorldGenerator
+from repro.dns import (
+    DnsName,
+    NS,
+    ParkingServer,
+    Resolver,
+    ResolverCache,
+    RRType,
+    SOA,
+    A,
+    Zone,
+)
+from repro.dns.server import AuthoritativeServer
+from repro.net import IPv4Address
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.02
+    world = WorldGenerator(WorldConfig(seed=7, scale=scale)).generate()
+    study = GovernmentDnsStudy(world)
+
+    print("Scanning for registrable nameserver domains ...")
+    exposure = study.delegation().hijack_exposure()
+    if not exposure.available:
+        raise SystemExit("no exposure found at this scale; try a larger one")
+
+    # Pick the cheapest d_ns with a *fully defective* victim: when the
+    # victim still has working nameservers, resolvers keep using those
+    # (a partial defect is only a partial hijack); the silent ones fall
+    # entirely to whoever owns the dangling record.
+    silent = set(exposure.silent_victims)
+    candidates = {
+        dns_domain: quote
+        for dns_domain, quote in exposure.available.items()
+        if any(v in silent for v in exposure.victims_by_dns[dns_domain])
+    }
+    if not candidates:
+        raise SystemExit("no fully-stale victims at this scale; try larger")
+    dns_domain, quote = min(candidates.items(), key=lambda kv: kv[1].price_usd)
+    victims = [v for v in exposure.victims_by_dns[dns_domain] if v in silent]
+    print(
+        f"  cheapest dangling d_ns with silent victims: {dns_domain} at "
+        f"${quote.price_usd:.2f}, controlling {len(victims)} domain(s)"
+    )
+
+    # ---------------------------------------------------------------
+    # Step 1: the "attacker" registers the lapsed domain.
+    # ---------------------------------------------------------------
+    record = world.registrar.register(
+        dns_domain, "Totally Legit Hosting LLC", now=world.clock.now
+    )
+    print(f"  registered by {record.registrant!r} — cost ${quote.price_usd:.2f}")
+
+    # ---------------------------------------------------------------
+    # Step 2: stand up attacker DNS.  The TLD zone gets a delegation
+    # for the newly registered domain; its nameserver answers every
+    # query for the victim zones with attacker addresses.
+    # ---------------------------------------------------------------
+    park_ip = IPv4Address.parse("198.51.100.66")
+    attacker_ns_ip = IPv4Address.parse("198.51.100.53")
+    attacker_host = DnsName.parse(f"ns1.{dns_domain}")
+
+    parking = ParkingServer(
+        hostname=attacker_host,
+        park_address=park_ip,
+        ns_set=(attacker_host,),
+    )
+    world.network.attach(attacker_ns_ip, parking)
+    # The victims' delegations may name any host under the lapsed
+    # domain (ns1…ns4); the parking server resolves them all to the
+    # park address, so a responder must live there as well.
+    world.network.attach(park_ip, parking)
+
+    # Grace-period reality: the registry re-publishes the delegation.
+    tld = dns_domain.slice_to_level(1)
+    for zone_origin, iso2 in ((tld, None),):
+        pass
+    # Find the registry zone serving the TLD via a resolver walk is
+    # overkill here — the generator exposes registry zones through the
+    # suffix map only, so delegate via the root-known gTLD zone lookup:
+    from repro.dns import make_query
+
+    resolver = Resolver(
+        world.network,
+        world.root_addresses,
+        cache=ResolverCache(world.clock),
+        source=world.probe_source,
+    )
+    # Ask the root which servers host the TLD, then inject the
+    # delegation into that zone through its authoritative server.
+    root_reply = resolver.query_at(
+        world.root_addresses[0], dns_domain, RRType.NS
+    )
+    tld_addresses = []
+    for rrset in root_reply.additional:
+        tld_addresses.extend(
+            r.address for r in rrset.rdatas if rrset.rrtype == RRType.A
+        )
+    tld_server = world.network.host_at(tld_addresses[0])
+    tld_zone = tld_server.find_zone(dns_domain)
+    tld_zone.add_records(dns_domain, NS(attacker_host))
+    tld_zone.add_records(attacker_host, A(attacker_ns_ip))
+    print(f"  attacker nameserver live at {attacker_ns_ip} ({attacker_host})")
+
+    # ---------------------------------------------------------------
+    # Step 3: victims now resolve through attacker infrastructure.
+    # ---------------------------------------------------------------
+    print()
+    print("Re-resolving victim domains:")
+    fresh = Resolver(
+        world.network,
+        world.root_addresses,
+        cache=ResolverCache(world.clock),
+        source=IPv4Address.parse("192.0.2.99"),
+    )
+    hijacked = 0
+    for victim in victims:
+        result = fresh.resolve(DnsName.parse(f"www.{victim}"), RRType.A)
+        addresses = [str(a) for a in result.addresses()]
+        landed = str(park_ip) in addresses
+        hijacked += landed
+        marker = "HIJACKED" if landed else f"{result.status} {addresses}"
+        print(f"  www.{victim}  →  {marker}")
+    print()
+    print(
+        f"{hijacked}/{len(victims)} victim domains now resolve to the "
+        f"attacker's parking page at {park_ip}"
+    )
+    print(
+        "Moral of the story (paper §IV-C): a stale NS record plus "
+        f"${quote.price_usd:.2f} equals control of government names."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,152 @@
+#!/usr/bin/env python3
+"""Zone doctor: the DNS substrate as a standalone library.
+
+The reproduction's DNS layer is usable on its own, in the spirit of the
+debugging tools the paper's §V-B surveys (zonemaster, pre-delegation
+checks).  This example:
+
+1. parses a deliberately broken zone file — including the dropped-origin
+   typo from §IV-D (``ns.`` where ``ns`` was meant);
+2. runs the static lints (``Zone.problems``);
+3. builds a live mini-Internet around the zone and runs *delegation
+   checks* against it, classifying each nameserver the same way the
+   paper's probe does.
+
+Run:  python examples/zone_doctor.py
+"""
+
+from repro.dns import (
+    A,
+    AuthoritativeServer,
+    DnsName,
+    MissBehavior,
+    NS,
+    Resolver,
+    ResolverCache,
+    RRType,
+    SOA,
+    Zone,
+    parse_zone_file,
+)
+from repro.net import IPv4Address, Network
+
+BROKEN_ZONE = """\
+$ORIGIN health.gov.zz.
+$TTL 3600
+@ IN SOA ns1 hostmaster 2021040100 7200 900 1209600 3600
+@ IN NS ns1
+@ IN NS ns.            ; <- the dropped-origin typo: bare label "ns"
+@ IN NS ns3.oldhost.example.com.
+ns1 IN A 10.1.0.1
+www IN A 10.9.9.9
+clinic IN NS ns1.clinic ; delegation with no glue for ns1.clinic
+"""
+
+IP = IPv4Address.parse
+N = DnsName.parse
+
+
+def main() -> None:
+    zone = parse_zone_file(BROKEN_ZONE)
+    print(f"Parsed zone {zone.origin} with {len(zone)} RRsets")
+
+    print("\nStatic lints (Zone.problems):")
+    for problem in zone.problems():
+        print(f"  ! {problem}")
+
+    # ------------------------------------------------------------------
+    # Build a live environment: root → zz → gov.zz → our zone, with
+    # one healthy server, one lame server, and one dead hostname.
+    # ------------------------------------------------------------------
+    network = Network()
+    root_ip, tld_ip, gov_ip, good_ip, lame_ip = (
+        IP("198.41.0.4"), IP("10.0.0.1"), IP("10.0.1.1"),
+        IP("10.1.0.1"), IP("10.1.0.2"),
+    )
+
+    root = Zone(N("."))
+    root.add_records(N("."), NS(N("a.root-servers.net.")))
+    root.add_records(N("zz."), NS(N("ns.nic.zz.")))
+    root.add_records(N("ns.nic.zz."), A(tld_ip))
+    server = AuthoritativeServer(N("a.root-servers.net."))
+    server.load_zone(root)
+    network.attach(root_ip, server)
+
+    tld = Zone(N("zz."))
+    tld.add_records(N("zz."), NS(N("ns.nic.zz.")))
+    tld.add_records(N("zz."), SOA(N("ns.nic.zz."), N("hostmaster.nic.zz.")))
+    tld.add_records(N("ns.nic.zz."), A(tld_ip))
+    tld.add_records(N("gov.zz."), NS(N("ns1.gov.zz.")))
+    tld.add_records(N("ns1.gov.zz."), A(gov_ip))
+    server = AuthoritativeServer(N("ns.nic.zz."))
+    server.load_zone(tld)
+    network.attach(tld_ip, server)
+
+    gov = Zone(N("gov.zz."))
+    gov.add_records(N("gov.zz."), NS(N("ns1.gov.zz.")))
+    gov.add_records(N("gov.zz."), SOA(N("ns1.gov.zz."), N("h.gov.zz.")))
+    gov.add_records(N("ns1.gov.zz."), A(gov_ip))
+    # The parent's delegation for our zone (with glue for ns1 only).
+    gov.add_records(
+        N("health.gov.zz."),
+        NS(N("ns1.health.gov.zz.")),
+        NS(N("ns3.oldhost.example.com.")),
+    )
+    gov.add_records(N("ns1.health.gov.zz."), A(good_ip))
+    server = AuthoritativeServer(N("ns1.gov.zz."))
+    server.load_zone(gov)
+    network.attach(gov_ip, server)
+
+    healthy = AuthoritativeServer(N("ns1.health.gov.zz."))
+    healthy.load_zone(zone)
+    network.attach(good_ip, healthy)
+    # A lame server: attached, but never given the zone.
+    network.attach(
+        lame_ip,
+        AuthoritativeServer(N("old.health.gov.zz."),
+                            miss_behavior=MissBehavior.REFUSED),
+    )
+
+    resolver = Resolver(network, [root_ip], cache=ResolverCache(network.clock))
+
+    # ------------------------------------------------------------------
+    # Live delegation check: classify every nameserver the parent or
+    # child mentions, exactly like the paper's per-server sweep.
+    # ------------------------------------------------------------------
+    print("\nLive delegation check:")
+    parent_set = {
+        r.nsdname for r in gov.get(N("health.gov.zz."), RRType.NS).rdatas
+    }
+    child_set = {r.nsdname for r in zone.apex_ns.rdatas}
+    for hostname in sorted(parent_set | child_set, key=str):
+        where = (
+            "P∩C" if hostname in parent_set and hostname in child_set
+            else "P only" if hostname in parent_set
+            else "C only"
+        )
+        if len(hostname) == 1:
+            print(f"  {str(hostname):35} [{where}]  BARE LABEL — dropped-origin typo")
+            continue
+        addresses = resolver.resolve_address(hostname)
+        if not addresses:
+            print(f"  {str(hostname):35} [{where}]  UNRESOLVABLE — dangling record?")
+            continue
+        reply = resolver.query_at(addresses[0], N("health.gov.zz."), RRType.NS)
+        if reply is None:
+            verdict = "UNRESPONSIVE"
+        elif reply.aa:
+            verdict = "OK (authoritative)"
+        else:
+            verdict = f"LAME ({reply.rcode})"
+        print(f"  {str(hostname):35} [{where}]  {verdict}")
+
+    if parent_set != child_set:
+        print("\nParent and child disagree (P≠C):")
+        for hostname in sorted(parent_set - child_set, key=str):
+            print(f"  parent-only: {hostname}")
+        for hostname in sorted(child_set - parent_set, key=str):
+            print(f"  child-only:  {hostname}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,31 @@
+"""repro — reproduction of "A Comprehensive, Longitudinal Study of
+Government DNS Deployment at Global Scale" (DSN 2022).
+
+Layers, bottom-up:
+
+- :mod:`repro.net` — simulated internetwork (addresses, time, delivery);
+- :mod:`repro.dns` — from-scratch DNS (zones, servers, resolver);
+- :mod:`repro.geo` — UN regions, AS registry, GeoIP;
+- :mod:`repro.registry` — ccTLD policies, registrar, whois, archive;
+- :mod:`repro.pdns` — passive-DNS database (DNSDB stand-in);
+- :mod:`repro.worldgen` — synthetic global government-DNS ecosystem;
+- :mod:`repro.core` — the paper's measurement pipeline and analyses;
+- :mod:`repro.report` — table/figure rendering and export.
+
+Quick start::
+
+    from repro.worldgen import WorldGenerator, WorldConfig
+    from repro.core import GovernmentDnsStudy
+
+    world = WorldGenerator(WorldConfig(seed=7, scale=0.02)).generate()
+    study = GovernmentDnsStudy(world)
+    print(study.headline())
+"""
+
+from .core.study import GovernmentDnsStudy
+from .worldgen.config import WorldConfig
+from .worldgen.generator import World, WorldGenerator
+
+__version__ = "1.0.0"
+
+__all__ = ["GovernmentDnsStudy", "WorldConfig", "World", "WorldGenerator", "__version__"]

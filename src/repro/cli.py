@@ -1,0 +1,257 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``headline``   run the study, print headline findings vs the paper
+``paperkit``   regenerate every §IV table/figure into an output directory
+``audit``      per-country audit (defects, inconsistency, hijack exposure)
+``hijackscan`` list registrable nameserver domains with prices
+``remediate``  apply the §V-B toolbox and report before/after
+``disclose``   responsible-disclosure notifications per operator
+
+Common options: ``--seed`` and ``--scale`` select the deterministic
+world; everything else derives from them.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from .core.study import GovernmentDnsStudy
+from .report.paperkit import ARTIFACTS, export_all
+from .report.tables import format_percent, render_table
+from .worldgen.config import WorldConfig
+from .worldgen.generator import World, WorldGenerator
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'A Comprehensive, Longitudinal Study of "
+            "Government DNS Deployment at Global Scale' (DSN 2022)"
+        ),
+    )
+    parser.add_argument("--seed", type=int, default=7, help="world seed")
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=0.02,
+        help="world size relative to the paper's 147k targets",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("headline", help="study headline vs the paper")
+
+    kit = sub.add_parser("paperkit", help="export every table/figure")
+    kit.add_argument("outdir", help="directory for .txt/.csv artifacts")
+
+    audit = sub.add_parser("audit", help="audit one country")
+    audit.add_argument("iso2", help="ISO-3166 alpha-2 code, e.g. TR")
+
+    sub.add_parser("hijackscan", help="registrable nameserver domains")
+
+    sub.add_parser("remediate", help="apply §V-B remedies, re-measure")
+
+    disclose = sub.add_parser(
+        "disclose", help="render responsible-disclosure notifications"
+    )
+    disclose.add_argument(
+        "iso2", nargs="?", default=None,
+        help="country to render (default: list all affected)",
+    )
+    return parser
+
+
+def _make_study(args: argparse.Namespace) -> GovernmentDnsStudy:
+    world = WorldGenerator(
+        WorldConfig(seed=args.seed, scale=args.scale)
+    ).generate()
+    return GovernmentDnsStudy(world)
+
+
+def _cmd_headline(args: argparse.Namespace, out) -> int:
+    study = _make_study(args)
+    headline = study.headline()
+    paper = {
+        "targets": "147k",
+        "parent_response": "115k",
+        "parent_nonempty": "96k",
+        "responsive": "—",
+        "share_ge2_ns": "98.4%",
+        "single_ns_stale_share": "60.1%",
+        "defective_any": "29.5%",
+        "defective_partial": "25.4%",
+        "defective_full": "~4.1%",
+        "consistent_share": "76.8%",
+    }
+    rows = []
+    for key, value in headline.items():
+        shown = (
+            format_percent(value)
+            if 0.0 < value <= 1.0
+            else f"{int(value):,}"
+        )
+        rows.append([key, paper.get(key, "—"), shown])
+    print(render_table(["Metric", "Paper", "Measured"], rows), file=out)
+    return 0
+
+
+def _cmd_paperkit(args: argparse.Namespace, out) -> int:
+    study = _make_study(args)
+    written = export_all(study, args.outdir)
+    for artifact in ARTIFACTS:
+        txt, csv = written[artifact]
+        print(f"{artifact}: {txt} {csv}", file=out)
+    print(f"{len(written)} artifacts written to {args.outdir}", file=out)
+    return 0
+
+
+def _cmd_audit(args: argparse.Namespace, out) -> int:
+    study = _make_study(args)
+    iso2 = args.iso2.upper()
+    seed = study.seeds().get(iso2)
+    if seed is None:
+        print(f"no seed domain for {iso2!r}", file=out)
+        return 1
+    results = [r for r in study.dataset() if r.iso2 == iso2]
+    listed = [r for r in results if r.parent_nonempty]
+    defects = [
+        rep
+        for rep in study.delegation().reports().values()
+        if rep.iso2 == iso2 and rep.any_defect
+    ]
+    inconsistent = [
+        rep
+        for rep in study.consistency().reports().values()
+        if rep.iso2 == iso2 and not rep.consistent
+    ]
+    exposure = study.delegation().hijack_exposure()
+    exposed = [
+        (dns_domain, victims)
+        for dns_domain, victims in exposure.victims_by_dns.items()
+        if any(exposure.victim_country.get(v) == iso2 for v in victims)
+    ]
+    print(f"d_gov: {seed.d_gov} ({'suffix' if seed.is_suffix else 'registered domain'})", file=out)
+    print(f"domains probed: {len(results)}, delegated: {len(listed)}", file=out)
+    print(f"defective delegations: {len(defects)}", file=out)
+    print(f"parent/child disagreements: {len(inconsistent)}", file=out)
+    print(f"hijack-exposed nameserver domains: {len(exposed)}", file=out)
+    for dns_domain, victims in exposed:
+        quote = exposure.available[dns_domain]
+        print(f"  {dns_domain} (${quote.price_usd:,.2f}) → {len(victims)} domain(s)", file=out)
+    return 0
+
+
+def _cmd_hijackscan(args: argparse.Namespace, out) -> int:
+    study = _make_study(args)
+    exposure = study.delegation().hijack_exposure()
+    if not exposure.available:
+        print("no registrable nameserver domains found", file=out)
+        return 0
+    rows = [
+        [
+            str(dns_domain),
+            f"${quote.price_usd:,.2f}",
+            len(exposure.victims_by_dns.get(dns_domain, [])),
+        ]
+        for dns_domain, quote in sorted(
+            exposure.available.items(), key=lambda kv: kv[1].price_usd or 0
+        )
+    ]
+    print(
+        render_table(
+            ["Nameserver domain", "Price", "Victims"],
+            rows,
+            title=(
+                f"{len(exposure.available)} registrable d_ns controlling "
+                f"{len(exposure.victim_domains)} government domains in "
+                f"{len(exposure.countries)} countries"
+            ),
+        ),
+        file=out,
+    )
+    return 0
+
+
+def _cmd_remediate(args: argparse.Namespace, out) -> int:
+    from .remedies.sweeper import RemediationSweeper
+
+    world = WorldGenerator(
+        WorldConfig(seed=args.seed, scale=args.scale)
+    ).generate()
+    before_study = GovernmentDnsStudy(world)
+    before = before_study.headline()
+    report = RemediationSweeper(before_study).sweep()
+    after = GovernmentDnsStudy(world).headline()
+    print(
+        render_table(
+            ["Metric", "Before", "After"],
+            [
+                ["any defective", format_percent(before["defective_any"]),
+                 format_percent(after["defective_any"])],
+                ["fully defective", format_percent(before["defective_full"]),
+                 format_percent(after["defective_full"])],
+                ["P = C", format_percent(before["consistent_share"]),
+                 format_percent(after["consistent_share"])],
+            ],
+            title=(
+                f"{report.total_changes} changes "
+                f"({len(report.zombies_deleted)} deletes, "
+                f"{len(report.delegations_updated)} updates, "
+                f"{len(report.synchronized)} syncs, "
+                f"{len(report.locked)} locks)"
+            ),
+        ),
+        file=out,
+    )
+    return 0
+
+
+def _cmd_disclose(args: argparse.Namespace, out) -> int:
+    from .report.disclosure import build_disclosures, render_package
+
+    study = _make_study(args)
+    packages = build_disclosures(study)
+    if args.iso2 is None:
+        rows = sorted(
+            ((p.worst_severity, iso2, len(p.findings)) for iso2, p in packages.items())
+        )
+        print(
+            render_table(
+                ["Country", "Findings", "Worst severity"],
+                [[iso2, count, severity] for severity, iso2, count in rows],
+                title=f"{len(packages)} operators to notify",
+            ),
+            file=out,
+        )
+        return 0
+    package = packages.get(args.iso2.upper())
+    if package is None:
+        print(f"no findings for {args.iso2.upper()}", file=out)
+        return 1
+    print(render_package(package), file=out)
+    return 0
+
+
+_COMMANDS = {
+    "headline": _cmd_headline,
+    "paperkit": _cmd_paperkit,
+    "audit": _cmd_audit,
+    "hijackscan": _cmd_hijackscan,
+    "remediate": _cmd_remediate,
+    "disclose": _cmd_disclose,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args, out if out is not None else sys.stdout)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

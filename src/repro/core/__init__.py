@@ -1,0 +1,79 @@
+"""The paper's contribution: the measurement pipeline and §IV analyses."""
+
+from .audit import CampaignAudit, audit_campaign
+from .centralization import (
+    MAJOR_PROVIDERS,
+    CentralizationAnalysis,
+    ProviderReach,
+    ProviderUsage,
+)
+from .consistency import ConsistencyAnalysis, ConsistencyClass, ConsistencyReport
+from .dataset import (
+    MeasurementDataset,
+    ParentStatus,
+    ProbeResult,
+    ServerOutcome,
+    ServerProbe,
+)
+from .delegation import (
+    DefectReport,
+    DelegationAnalysis,
+    DelegationClass,
+    HijackExposure,
+)
+from .diversity import DiversityAnalysis, DiversityRow
+from .ethics import RateLimiter, research_ptr_zone
+from .probe import ActiveProber, ProbeConfig
+from .provider_id import ProviderMatcher, base_domain_of
+from .replication import (
+    ActiveReplicationAnalysis,
+    CountryMapper,
+    PdnsReplicationAnalysis,
+    YearState,
+)
+from .seeds import Seed, SeedSelector
+from .study import GovernmentDnsStudy
+from .vantage import MultiVantageProber, VantageComparison, VantageDisagreement
+from .targets import DEFAULT_WINDOW, TargetListBuilder, looks_disposable
+
+__all__ = [
+    "CampaignAudit",
+    "audit_campaign",
+    "MAJOR_PROVIDERS",
+    "CentralizationAnalysis",
+    "ProviderReach",
+    "ProviderUsage",
+    "ConsistencyAnalysis",
+    "ConsistencyClass",
+    "ConsistencyReport",
+    "MeasurementDataset",
+    "ParentStatus",
+    "ProbeResult",
+    "ServerOutcome",
+    "ServerProbe",
+    "DefectReport",
+    "DelegationAnalysis",
+    "DelegationClass",
+    "HijackExposure",
+    "DiversityAnalysis",
+    "DiversityRow",
+    "RateLimiter",
+    "research_ptr_zone",
+    "ActiveProber",
+    "ProbeConfig",
+    "ProviderMatcher",
+    "base_domain_of",
+    "ActiveReplicationAnalysis",
+    "CountryMapper",
+    "PdnsReplicationAnalysis",
+    "YearState",
+    "Seed",
+    "SeedSelector",
+    "GovernmentDnsStudy",
+    "MultiVantageProber",
+    "VantageComparison",
+    "VantageDisagreement",
+    "DEFAULT_WINDOW",
+    "TargetListBuilder",
+    "looks_disposable",
+]

@@ -1,0 +1,322 @@
+"""The active-measurement pipeline (paper Figure 1).
+
+For each target domain ``d``:
+
+1. **Find the parent's authoritative nameservers** by walking referrals
+   from the root toward ``d``.
+2. The walk ends when a parent-zone server **returns a referral** naming
+   ``d`` itself — that referral's NS set is *P*, the parent's view.  An
+   authoritative empty answer (NXDOMAIN/NODATA) means the delegation is
+   gone; silence from every server of the enclosing zone means the
+   parent itself is unreachable.
+3. **Query d's own nameservers** (those named in *P*) for d's NS
+   records; authoritative answers contribute *C*, the child's view.
+4. **Sweep every IPv4 address** of every nameserver in *P ∪ C* with the
+   same NS query, recording each address's outcome — the raw material
+   for the defective-delegation and consistency analyses.
+
+A **second round** re-queries domains whose parent listed nameservers
+but none answered, shortly after the first (paper §III-B), to absorb
+transient failures.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..dns.cache import ResolverCache
+from ..dns.message import Message, Rcode
+from ..dns.name import DnsName, ROOT
+from ..dns.rdata import NS, RRType, A
+from ..dns.resolver import Resolver
+from ..net.address import IPv4Address
+from ..net.clock import SimulatedClock
+from ..net.network import Network
+from .dataset import (
+    MeasurementDataset,
+    ParentStatus,
+    ProbeResult,
+    ServerOutcome,
+    ServerProbe,
+)
+from .ethics import RateLimiter
+
+__all__ = ["ActiveProber", "ProbeConfig"]
+
+_MAX_WALK = 16
+
+
+class ProbeConfig:
+    """Tunables for the campaign."""
+
+    def __init__(
+        self,
+        timeout: float = 3.0,
+        retries: int = 1,
+        retry_round: bool = True,
+        retry_interval_days: float = 1.0,
+        rate_limit_qps: Optional[float] = 500.0,
+    ) -> None:
+        if timeout <= 0:
+            raise ValueError("timeout must be positive")
+        self.timeout = timeout
+        self.retries = retries
+        self.retry_round = retry_round
+        self.retry_interval_days = retry_interval_days
+        self.rate_limit_qps = rate_limit_qps
+
+
+class ActiveProber:
+    """Runs the Figure-1 pipeline against a network."""
+
+    def __init__(
+        self,
+        network: Network,
+        root_addresses: Iterable[IPv4Address],
+        source: IPv4Address,
+        config: Optional[ProbeConfig] = None,
+    ) -> None:
+        self.config = config if config is not None else ProbeConfig()
+        self._network = network
+        self._clock = network.clock
+        self._cache = ResolverCache(self._clock)
+        self._resolver = Resolver(
+            network,
+            list(root_addresses),
+            cache=self._cache,
+            source=source,
+            timeout=self.config.timeout,
+            retries=self.config.retries,
+        )
+        self._limiter = (
+            RateLimiter(self._clock, queries_per_second=self.config.rate_limit_qps)
+            if self.config.rate_limit_qps
+            else None
+        )
+        self.queries_sent = 0
+
+    # ------------------------------------------------------------------
+    # Low-level query with ethics accounting
+    # ------------------------------------------------------------------
+    def _query(
+        self, address: IPv4Address, qname: DnsName, qtype: str
+    ) -> Optional[Message]:
+        if self._limiter is not None:
+            self._limiter.acquire()
+        self.queries_sent += 1
+        return self._resolver.query_at(address, qname, qtype)
+
+    # ------------------------------------------------------------------
+    # Step 1/2: locate the parent's nameservers, get the referral
+    # ------------------------------------------------------------------
+    def _walk_to_parent(
+        self, domain: DnsName
+    ) -> Tuple[str, Tuple[DnsName, ...], Dict[DnsName, Tuple[IPv4Address, ...]]]:
+        """Walk referrals from the root until the parent zone answers
+        for ``domain``.
+
+        Returns (parent_status, P hostnames, glue map).
+        """
+        candidates: List[IPv4Address] = list(self._resolver._roots)
+        glueless: List[DnsName] = []
+        for _ in range(_MAX_WALK):
+            response = None
+            queue = list(candidates)
+            pending = list(glueless)
+            while queue or pending:
+                if not queue:
+                    hostname = pending.pop(0)
+                    queue.extend(self._resolver.resolve_address(hostname))
+                    continue
+                address = queue.pop(0)
+                reply = self._query(address, domain, RRType.NS)
+                if reply is None:
+                    continue
+                if reply.rcode in (Rcode.REFUSED, Rcode.SERVFAIL):
+                    continue
+                if reply.is_upward_referral:
+                    continue
+                response = reply
+                break
+            if response is None:
+                return ParentStatus.NO_RESPONSE, (), {}
+
+            if response.is_referral:
+                target = response.referral_target
+                assert target is not None
+                delegation = response.authority_rrset(RRType.NS)
+                assert delegation is not None
+                hostnames = tuple(
+                    rdata.nsdname  # type: ignore[union-attr]
+                    for rdata in delegation.rdatas
+                )
+                glue: Dict[DnsName, Tuple[IPv4Address, ...]] = {}
+                for hostname in hostnames:
+                    addresses = []
+                    for glue_set in response.glue_for(hostname):
+                        for rdata in glue_set.rdatas:
+                            assert isinstance(rdata, A)
+                            addresses.append(rdata.address)
+                    if addresses:
+                        glue[hostname] = tuple(addresses)
+                if target == domain:
+                    # The parent's answer about our domain: this is P.
+                    return ParentStatus.REFERRAL, hostnames, glue
+                # An intermediate cut: descend.
+                candidates = [a for addrs in glue.values() for a in addrs]
+                glueless = [h for h in hostnames if h not in glue]
+                continue
+
+            if response.aa:
+                answer = response.answer_rrset(RRType.NS)
+                if answer is not None:
+                    # Parent and child co-hosted: the "parent" server is
+                    # also authoritative for the domain and answers
+                    # directly instead of referring.
+                    hostnames = tuple(
+                        rdata.nsdname  # type: ignore[union-attr]
+                        for rdata in answer.rdatas
+                    )
+                    return ParentStatus.ANSWER, hostnames, {}
+                return ParentStatus.EMPTY, (), {}
+
+            return ParentStatus.NO_RESPONSE, (), {}
+        return ParentStatus.NO_RESPONSE, (), {}
+
+    # ------------------------------------------------------------------
+    # Steps 3-4: child view and per-address sweep
+    # ------------------------------------------------------------------
+    def _resolve_ns_addresses(
+        self,
+        hostname: DnsName,
+        glue: Dict[DnsName, Tuple[IPv4Address, ...]],
+    ) -> Tuple[bool, Tuple[IPv4Address, ...]]:
+        if hostname in glue:
+            return True, glue[hostname]
+        if len(hostname) == 1:
+            # Single-label nameserver names (the dropped-origin typo)
+            # cannot be resolved meaningfully.
+            return False, ()
+        addresses = self._resolver.resolve_address(hostname)
+        return (len(addresses) > 0), addresses
+
+    @staticmethod
+    def _classify(response: Optional[Message], domain: DnsName) -> str:
+        if response is None:
+            return ServerOutcome.TIMEOUT
+        if response.rcode == Rcode.REFUSED:
+            return ServerOutcome.REFUSED
+        if response.rcode == Rcode.SERVFAIL:
+            return ServerOutcome.SERVFAIL
+        if response.is_upward_referral:
+            return ServerOutcome.UPWARD
+        if response.rcode == Rcode.NXDOMAIN and response.aa:
+            return ServerOutcome.NXDOMAIN
+        if response.aa:
+            if response.answer_rrset(RRType.NS) is not None:
+                return ServerOutcome.ANSWER
+            return ServerOutcome.NODATA
+        return ServerOutcome.LAME
+
+    def _sweep(
+        self,
+        result: ProbeResult,
+        hostnames: Iterable[DnsName],
+        glue: Dict[DnsName, Tuple[IPv4Address, ...]],
+    ) -> None:
+        """Query every address of every hostname for the domain's NS."""
+        for hostname in hostnames:
+            probe = result.servers.get(hostname)
+            if probe is None:
+                resolvable, addresses = self._resolve_ns_addresses(hostname, glue)
+                probe = ServerProbe(
+                    hostname=hostname,
+                    resolvable=resolvable,
+                    addresses=addresses,
+                )
+                result.servers[hostname] = probe
+            for address in probe.addresses:
+                if address in probe.outcomes and probe.outcomes[
+                    address
+                ] not in (ServerOutcome.TIMEOUT,):
+                    continue
+                response = self._query(address, result.domain, RRType.NS)
+                outcome = self._classify(response, result.domain)
+                probe.outcomes[address] = outcome
+                if outcome == ServerOutcome.ANSWER:
+                    answer = response.answer_rrset(RRType.NS)  # type: ignore[union-attr]
+                    assert answer is not None
+                    probe.ns_by_address[address] = tuple(
+                        rdata.nsdname  # type: ignore[union-attr]
+                        for rdata in answer.rdatas
+                    )
+
+    def _collect_child_view(self, result: ProbeResult) -> None:
+        """Union of NS sets returned authoritatively by the domain's own
+        servers (the C of §IV-D)."""
+        seen: Dict[DnsName, None] = {}
+        for server in result.servers.values():
+            for ns_set in server.ns_by_address.values():
+                for hostname in ns_set:
+                    seen.setdefault(hostname, None)
+        result.child_ns = tuple(seen)
+
+    # ------------------------------------------------------------------
+    # Per-domain pipeline
+    # ------------------------------------------------------------------
+    def probe_domain(self, domain: DnsName, iso2: str = "") -> ProbeResult:
+        before = self.queries_sent
+        parent_status, parent_ns, glue = self._walk_to_parent(domain)
+        result = ProbeResult(
+            domain=domain,
+            iso2=iso2,
+            parent_status=parent_status,
+            parent_ns=parent_ns,
+        )
+        if parent_status in (ParentStatus.REFERRAL, ParentStatus.ANSWER):
+            self._sweep(result, parent_ns, glue)
+            self._collect_child_view(result)
+            new_hostnames = [
+                h for h in result.child_ns if h not in result.servers
+            ]
+            if new_hostnames:
+                self._sweep(result, new_hostnames, glue)
+                self._collect_child_view(result)
+        result.queries_sent = self.queries_sent - before
+        return result
+
+    def probe_all(
+        self,
+        targets: Dict[DnsName, str],
+    ) -> MeasurementDataset:
+        """Run the campaign over {domain → ISO2}.
+
+        The retry round (paper §III-B) re-runs the sweep for domains
+        whose parent listed nameservers but none answered, after a
+        short simulated delay.
+        """
+        results: Dict[DnsName, ProbeResult] = {}
+        for domain in sorted(targets):
+            results[domain] = self.probe_domain(domain, targets[domain])
+
+        if self.config.retry_round:
+            needs_retry = [
+                r
+                for r in results.values()
+                if r.parent_nonempty and not r.responsive
+            ]
+            if needs_retry:
+                self._clock.advance(
+                    self.config.retry_interval_days * 86_400
+                )
+            for result in needs_retry:
+                for server in result.servers.values():
+                    # Drop timeout verdicts so the sweep re-queries.
+                    for address, outcome in list(server.outcomes.items()):
+                        if outcome == ServerOutcome.TIMEOUT:
+                            del server.outcomes[address]
+                self._sweep(result, list(result.servers), {})
+                self._collect_child_view(result)
+                result.retried = True
+        return MeasurementDataset(results)

@@ -1,0 +1,375 @@
+"""Nameserver-replication analyses (paper §IV-A).
+
+Two data sources, as in the paper:
+
+- **PDNS** (longitudinal): per-domain, per-year deployment state
+  summarized as the *mode* of the daily nameserver count (the
+  ``NS_daily`` construction of Figure 5), feeding Figures 2/3/4/6/7;
+- **active measurements**: the Figure 8 staleness rates and Figure 9
+  replication CDF.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from ..dns.name import DnsName
+from ..dns.rdata import RRType
+from ..net.clock import SECONDS_PER_DAY, year_bounds
+from ..pdns.database import PdnsDatabase
+from ..pdns.filtering import stable_records
+from ..pdns.record import PdnsRecord
+from .dataset import MeasurementDataset, ProbeResult
+from .seeds import Seed
+
+__all__ = [
+    "CountryMapper",
+    "YearState",
+    "PdnsReplicationAnalysis",
+    "ActiveReplicationAnalysis",
+]
+
+
+class CountryMapper:
+    """Longest-suffix mapping from a domain name to its seed country."""
+
+    def __init__(self, seeds: Mapping[str, Seed]) -> None:
+        self._by_suffix: Dict[DnsName, str] = {
+            seed.d_gov: iso2 for iso2, seed in seeds.items()
+        }
+
+    def country_of(self, name: DnsName) -> Optional[str]:
+        best: Optional[Tuple[int, str]] = None
+        for suffix, iso2 in self._by_suffix.items():
+            if name.is_subdomain_of(suffix):
+                if best is None or len(suffix) > best[0]:
+                    best = (len(suffix), iso2)
+        return best[1] if best is not None else None
+
+    def seed_suffix_of(self, name: DnsName) -> Optional[DnsName]:
+        best: Optional[DnsName] = None
+        for suffix in self._by_suffix:
+            if name.is_subdomain_of(suffix):
+                if best is None or len(suffix) > len(best):
+                    best = suffix
+        return best
+
+
+@dataclass
+class YearState:
+    """One domain's summarized state for one calendar year."""
+
+    domain: DnsName
+    iso2: str
+    year: int
+    mode_ns_count: int
+    hostnames: Tuple[str, ...]
+    private: bool  # every hostname inside the domain's own d_gov
+
+
+def _daily_count_durations(
+    intervals: Sequence[Tuple[float, float]], year_start: float, year_end: float
+) -> Dict[int, float]:
+    """Time spent at each active-record count over a year.
+
+    ``intervals`` are (first_seen, last_seen) spans; periods with zero
+    active records are ignored (the paper's NS_daily only includes days
+    where NS records appear active).
+    """
+    events: List[Tuple[float, int]] = []
+    for first, last in intervals:
+        start = max(first, year_start)
+        end = min(last + SECONDS_PER_DAY, year_end)  # last day inclusive
+        if end <= start:
+            continue
+        events.append((start, 1))
+        events.append((end, -1))
+    if not events:
+        return {}
+    events.sort()
+    duration_by_count: Dict[int, float] = {}
+    active = 0
+    previous = events[0][0]
+    for moment, delta in events:
+        if moment > previous and active > 0:
+            duration_by_count[active] = (
+                duration_by_count.get(active, 0.0) + moment - previous
+            )
+        active += delta
+        previous = moment
+    return duration_by_count
+
+
+def _mode_of_daily_counts(
+    intervals: Sequence[Tuple[float, float]], year_start: float, year_end: float
+) -> int:
+    """Mode of the per-day active-record count (the paper's Figure-5
+    summarization); ties break toward the larger deployment."""
+    durations = _daily_count_durations(intervals, year_start, year_end)
+    if not durations:
+        return 0
+    return max(durations.items(), key=lambda kv: (kv[1], kv[0]))[0]
+
+
+def _summarize_daily_counts(
+    intervals: Sequence[Tuple[float, float]],
+    year_start: float,
+    year_end: float,
+    how: str,
+) -> int:
+    durations = _daily_count_durations(intervals, year_start, year_end)
+    if not durations:
+        return 0
+    if how == "min":
+        return min(durations)
+    if how == "max":
+        return max(durations)
+    return max(durations.items(), key=lambda kv: (kv[1], kv[0]))[0]
+
+
+class PdnsReplicationAnalysis:
+    """Longitudinal deployment analysis over stable PDNS records."""
+
+    def __init__(
+        self,
+        pdns: PdnsDatabase,
+        seeds: Mapping[str, Seed],
+        years: Sequence[int] = tuple(range(2011, 2021)),
+        stability_days: float = 7.0,
+        year_summary: str = "mode",
+    ) -> None:
+        """``year_summary`` picks how NS_daily collapses to one number
+        per year: ``mode`` (the paper's choice, Figure 5), ``min``, or
+        ``max`` — the alternatives exist for the ablation study."""
+        if year_summary not in ("mode", "min", "max"):
+            raise ValueError(f"unknown year summary: {year_summary!r}")
+        self._pdns = pdns
+        self._seeds = dict(seeds)
+        self._mapper = CountryMapper(seeds)
+        self._years = tuple(years)
+        self._stability_days = stability_days
+        self._year_summary = year_summary
+        self._states: Optional[Dict[int, Dict[DnsName, YearState]]] = None
+
+    @property
+    def pdns(self) -> PdnsDatabase:
+        """The underlying PDNS store (centralization's SOA fallback
+        reads it directly)."""
+        return self._pdns
+
+    # ------------------------------------------------------------------
+    # State construction
+    # ------------------------------------------------------------------
+    def _domain_rows(self) -> Dict[DnsName, Tuple[str, List[PdnsRecord]]]:
+        """{domain → (iso2, stable NS records)} across all seeds."""
+        rows: Dict[DnsName, Tuple[str, List[PdnsRecord]]] = {}
+        for iso2, seed in self._seeds.items():
+            records = self._pdns.wildcard_left(seed.d_gov, rrtype=RRType.NS)
+            for record in stable_records(records, self._stability_days):
+                if record.rrname == seed.d_gov:
+                    continue
+                entry = rows.get(record.rrname)
+                if entry is None:
+                    rows[record.rrname] = (iso2, [record])
+                else:
+                    entry[1].append(record)
+        return rows
+
+    def year_states(self) -> Dict[int, Dict[DnsName, YearState]]:
+        """Per-year, per-domain deployment summaries (cached)."""
+        if self._states is not None:
+            return self._states
+        rows = self._domain_rows()
+        states: Dict[int, Dict[DnsName, YearState]] = {
+            year: {} for year in self._years
+        }
+        suffix_cache: Dict[DnsName, Optional[DnsName]] = {}
+        for domain, (iso2, records) in rows.items():
+            seed_suffix = suffix_cache.get(domain)
+            if domain not in suffix_cache:
+                seed_suffix = self._mapper.seed_suffix_of(domain)
+                suffix_cache[domain] = seed_suffix
+            for year in self._years:
+                start, end = year_bounds(year)
+                active = [
+                    r for r in records if r.active_during(start, end)
+                ]
+                if not active:
+                    continue
+                mode = _summarize_daily_counts(
+                    [(r.first_seen, r.last_seen) for r in active],
+                    start,
+                    end,
+                    self._year_summary,
+                )
+                if mode <= 0:
+                    continue
+                hostnames = tuple(sorted({r.rdata for r in active}))
+                private = bool(seed_suffix) and all(
+                    DnsName.parse(h).is_subdomain_of(seed_suffix)
+                    for h in hostnames
+                )
+                states[year][domain] = YearState(
+                    domain=domain,
+                    iso2=iso2,
+                    year=year,
+                    mode_ns_count=mode,
+                    hostnames=hostnames,
+                    private=private,
+                )
+        self._states = states
+        return states
+
+    # ------------------------------------------------------------------
+    # Figures
+    # ------------------------------------------------------------------
+    def figure2(self) -> Dict[int, Tuple[int, int]]:
+        """Year → (#domains with NS data, #countries with data)."""
+        out: Dict[int, Tuple[int, int]] = {}
+        for year, states in self.year_states().items():
+            countries = {s.iso2 for s in states.values()}
+            out[year] = (len(states), len(countries))
+        return out
+
+    def figure3(self) -> Dict[int, int]:
+        """Year → #distinct nameserver hostnames."""
+        out: Dict[int, int] = {}
+        for year, states in self.year_states().items():
+            hostnames = set()
+            for state in states.values():
+                hostnames.update(state.hostnames)
+            out[year] = len(hostnames)
+        return out
+
+    def figure4(self, year: int = 2020) -> Dict[str, int]:
+        """ISO2 → #domains with data in the given year."""
+        counts: Dict[str, int] = {}
+        for state in self.year_states()[year].values():
+            counts[state.iso2] = counts.get(state.iso2, 0) + 1
+        return counts
+
+    def single_ns_domains(self, year: int) -> Dict[DnsName, YearState]:
+        return {
+            domain: state
+            for domain, state in self.year_states()[year].items()
+            if state.mode_ns_count == 1
+        }
+
+    def figure6(self) -> Dict[int, Dict[str, float]]:
+        """Year → {overlap_2011, new_share, gone_share}.
+
+        ``overlap_2011``: fraction of the 2011 d_1NS cohort still d_1NS
+        this year (the paper's 21%-by-2020 series); ``new_share``:
+        d_1NS not d_1NS the year before; ``gone_share``: last year's
+        d_1NS no longer present.
+        """
+        cohort_2011 = set(self.single_ns_domains(self._years[0]))
+        out: Dict[int, Dict[str, float]] = {}
+        previous: Optional[set] = None
+        for year in self._years:
+            current = set(self.single_ns_domains(year))
+            row: Dict[str, float] = {}
+            if cohort_2011:
+                row["overlap_2011"] = len(current & cohort_2011) / len(cohort_2011)
+            if previous is not None:
+                if current:
+                    row["new_share"] = len(current - previous) / len(current)
+                if previous:
+                    row["gone_share"] = len(previous - current) / len(previous)
+            out[year] = row
+            previous = current
+        return out
+
+    def figure7(self) -> Dict[int, Tuple[float, float]]:
+        """Year → (% of d_1NS private, % of all domains private)."""
+        out: Dict[int, Tuple[float, float]] = {}
+        for year, states in self.year_states().items():
+            if not states:
+                out[year] = (0.0, 0.0)
+                continue
+            singles = [s for s in states.values() if s.mode_ns_count == 1]
+            single_private = (
+                sum(1 for s in singles if s.private) / len(singles)
+                if singles
+                else 0.0
+            )
+            overall_private = sum(
+                1 for s in states.values() if s.private
+            ) / len(states)
+            out[year] = (single_private, overall_private)
+        return out
+
+
+class ActiveReplicationAnalysis:
+    """Replication findings from the active campaign (Figures 8/9)."""
+
+    def __init__(self, dataset: MeasurementDataset) -> None:
+        self._dataset = dataset
+
+    def _listed(self) -> List[ProbeResult]:
+        """Domains for which nameservers are listed (non-empty parent)."""
+        return [r for r in self._dataset if r.parent_nonempty and r.ns_count > 0]
+
+    # ------------------------------------------------------------------
+    def figure9_distribution(self) -> Dict[int, int]:
+        """#nameservers listed → #domains (the Figure 9 CDF's mass)."""
+        histogram: Dict[int, int] = {}
+        for result in self._listed():
+            histogram[result.ns_count] = histogram.get(result.ns_count, 0) + 1
+        return dict(sorted(histogram.items()))
+
+    def share_with_at_least(self, count: int) -> float:
+        """Fraction of listed domains with ≥ ``count`` nameservers
+        (the paper's 98.4% at count=2)."""
+        listed = self._listed()
+        if not listed:
+            return 0.0
+        return sum(1 for r in listed if r.ns_count >= count) / len(listed)
+
+    def countries_fully_replicated(self) -> int:
+        """Countries where no listed domain is single-NS (paper: 109)."""
+        fully = 0
+        for iso2, results in self._by_country_listed().items():
+            if all(r.ns_count >= 2 for r in results):
+                fully += 1
+        return fully
+
+    def countries_with_single_ns_share_over(self, threshold: float) -> List[str]:
+        """Countries where > threshold of listed domains are single-NS
+        (paper: 15 at 10%)."""
+        flagged = []
+        for iso2, results in self._by_country_listed().items():
+            singles = sum(1 for r in results if r.ns_count == 1)
+            if results and singles / len(results) >= threshold:
+                flagged.append(iso2)
+        return sorted(flagged)
+
+    def _by_country_listed(self) -> Dict[str, List[ProbeResult]]:
+        grouped: Dict[str, List[ProbeResult]] = {}
+        for result in self._listed():
+            grouped.setdefault(result.iso2, []).append(result)
+        return grouped
+
+    # ------------------------------------------------------------------
+    def single_ns_results(self) -> List[ProbeResult]:
+        return [r for r in self._listed() if r.ns_count == 1]
+
+    def figure8_overall(self) -> float:
+        """Share of single-NS domains with no authoritative response
+        (the paper's 60.1%)."""
+        singles = self.single_ns_results()
+        if not singles:
+            return 0.0
+        return sum(1 for r in singles if not r.responsive) / len(singles)
+
+    def figure8_by_country(self, min_singles: int = 3) -> Dict[str, float]:
+        """ISO2 → share of its d_1NS with no authoritative response."""
+        grouped: Dict[str, List[ProbeResult]] = {}
+        for result in self.single_ns_results():
+            grouped.setdefault(result.iso2, []).append(result)
+        return {
+            iso2: sum(1 for r in results if not r.responsive) / len(results)
+            for iso2, results in grouped.items()
+            if len(results) >= min_singles
+        }

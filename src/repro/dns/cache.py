@@ -1,0 +1,99 @@
+"""A TTL-honouring resolver cache.
+
+Caching matters to the reproduction beyond performance: the paper's
+PDNS-filtering threshold (§III-C) is derived from the *maximum* TTL that
+popular resolvers will honour — 7 days — because a corrected
+misconfiguration can keep echoing in caches for that long.  The cache
+therefore supports a TTL clamp so that experiments can reproduce this
+reasoning.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ..net.clock import SimulatedClock
+from .name import DnsName
+from .rrset import RRset
+
+__all__ = ["ResolverCache", "MAX_RESOLVER_TTL"]
+
+# The largest default maximum TTL among the resolvers the paper surveys
+# (BIND, Unbound, MaraDNS, Windows DNS, Google Public DNS): 7 days.
+MAX_RESOLVER_TTL = 7 * 86_400
+
+
+@dataclass
+class _Entry:
+    rrset: Optional[RRset]  # None encodes a negative (NXDOMAIN/NODATA) entry
+    expires_at: float
+
+
+class ResolverCache:
+    """Positive and negative cache keyed by (name, type)."""
+
+    def __init__(
+        self,
+        clock: SimulatedClock,
+        max_ttl: int = MAX_RESOLVER_TTL,
+        negative_ttl: int = 900,
+    ) -> None:
+        if max_ttl <= 0 or negative_ttl <= 0:
+            raise ValueError("TTLs must be positive")
+        self._clock = clock
+        self._max_ttl = max_ttl
+        self._negative_ttl = negative_ttl
+        self._entries: Dict[Tuple[DnsName, str], _Entry] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def put(self, rrset: RRset) -> None:
+        ttl = min(rrset.ttl, self._max_ttl)
+        self._entries[(rrset.name, rrset.rrtype)] = _Entry(
+            rrset=rrset, expires_at=self._clock.now + ttl
+        )
+
+    def put_negative(self, name: DnsName, rrtype: str) -> None:
+        self._entries[(name, rrtype)] = _Entry(
+            rrset=None, expires_at=self._clock.now + self._negative_ttl
+        )
+
+    def get(self, name: DnsName, rrtype: str) -> Optional[RRset]:
+        """Return a live cached RRset, or None on miss/expiry/negative.
+
+        Use :meth:`get_state` when the caller must distinguish a negative
+        entry from a miss.
+        """
+        state, rrset = self.get_state(name, rrtype)
+        return rrset if state == "hit" else None
+
+    def get_state(
+        self, name: DnsName, rrtype: str
+    ) -> Tuple[str, Optional[RRset]]:
+        """Return ``("hit", rrset)``, ``("negative", None)``, or
+        ``("miss", None)``."""
+        entry = self._entries.get((name, rrtype))
+        if entry is None or entry.expires_at <= self._clock.now:
+            if entry is not None:
+                del self._entries[(name, rrtype)]
+            self.misses += 1
+            return "miss", None
+        self.hits += 1
+        if entry.rrset is None:
+            return "negative", None
+        return "hit", entry.rrset
+
+    def flush(self) -> None:
+        self._entries.clear()
+
+    def expire_stale(self) -> int:
+        """Drop expired entries; returns how many were removed."""
+        now = self._clock.now
+        stale = [key for key, entry in self._entries.items() if entry.expires_at <= now]
+        for key in stale:
+            del self._entries[key]
+        return len(stale)

@@ -1,0 +1,48 @@
+"""Exception hierarchy for the DNS substrate."""
+
+from __future__ import annotations
+
+__all__ = [
+    "DnsError",
+    "NameError_",
+    "ZoneError",
+    "ResolutionError",
+    "NoNameservers",
+    "ResolutionLoop",
+    "ZoneFileError",
+]
+
+
+class DnsError(Exception):
+    """Base class for all DNS-substrate errors."""
+
+
+class NameError_(DnsError, ValueError):
+    """A malformed domain name.
+
+    Named with a trailing underscore to avoid shadowing the builtin
+    :class:`NameError`; exported as ``NameError_``.
+    """
+
+
+class ZoneError(DnsError):
+    """Zone-content violation (e.g., CNAME alongside other data)."""
+
+
+class ZoneFileError(DnsError):
+    """Unparseable zone-file text."""
+
+
+class ResolutionError(DnsError):
+    """The resolver could not complete a lookup."""
+
+
+class NoNameservers(ResolutionError):
+    """Every candidate nameserver failed (timeout, refusal, or lameness).
+
+    This is the resolver-visible face of a *fully defective delegation*.
+    """
+
+
+class ResolutionLoop(ResolutionError):
+    """Referral or alias chain exceeded the loop budget."""

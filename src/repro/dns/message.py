@@ -1,0 +1,163 @@
+"""DNS query and response messages.
+
+A structural (not wire-format) model of DNS messages: the probe pipeline
+cares about *semantics* — is this an authoritative answer, a referral, a
+refusal, an upward referral from a lame server? — and those judgments are
+implemented here so that every analysis classifies responses the same
+way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional, Tuple
+
+from .name import DnsName, ROOT
+from .rdata import RRType
+from .rrset import RRset
+
+__all__ = ["Rcode", "Question", "Message", "make_query", "make_response"]
+
+
+class Rcode:
+    """Response codes (the subset a measurement study encounters)."""
+
+    NOERROR = "NOERROR"
+    FORMERR = "FORMERR"
+    SERVFAIL = "SERVFAIL"
+    NXDOMAIN = "NXDOMAIN"
+    NOTIMP = "NOTIMP"
+    REFUSED = "REFUSED"
+
+    ALL = frozenset({NOERROR, FORMERR, SERVFAIL, NXDOMAIN, NOTIMP, REFUSED})
+
+
+@dataclass(frozen=True)
+class Question:
+    """The question section: name, type (class is always IN here)."""
+
+    qname: DnsName
+    qtype: str
+
+    def __post_init__(self) -> None:
+        RRType.validate(self.qtype)
+
+    def __str__(self) -> str:
+        return f"{self.qname} IN {self.qtype}"
+
+
+@dataclass(frozen=True)
+class Message:
+    """A DNS message.
+
+    ``aa`` is the authoritative-answer flag; the study's stale-record and
+    defective-delegation tests hinge on whether *any* authoritative
+    response was received, so the flag is first-class here.
+    """
+
+    question: Question
+    is_response: bool = False
+    rcode: str = Rcode.NOERROR
+    aa: bool = False
+    answers: Tuple[RRset, ...] = field(default=())
+    authority: Tuple[RRset, ...] = field(default=())
+    additional: Tuple[RRset, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if self.rcode not in Rcode.ALL:
+            raise ValueError(f"unknown rcode: {self.rcode!r}")
+
+    # ------------------------------------------------------------------
+    # Semantic predicates used throughout the measurement pipeline
+    # ------------------------------------------------------------------
+    @property
+    def is_authoritative_answer(self) -> bool:
+        """An AA response that actually answers (or authoritatively
+        denies) the question."""
+        return self.is_response and self.aa and self.rcode in (
+            Rcode.NOERROR,
+            Rcode.NXDOMAIN,
+        )
+
+    @property
+    def is_referral(self) -> bool:
+        """A non-authoritative NOERROR response carrying NS records in
+        the authority section — the parent pointing at the child's
+        nameservers (step 2 of the paper's Figure 1)."""
+        return (
+            self.is_response
+            and not self.aa
+            and self.rcode == Rcode.NOERROR
+            and not self.answers
+            and any(rrset.rrtype == RRType.NS for rrset in self.authority)
+        )
+
+    @property
+    def is_upward_referral(self) -> bool:
+        """A referral to the root — the classic signature of a lame
+        server that does not serve the zone but tries to be helpful."""
+        if not self.is_referral:
+            return False
+        return all(
+            rrset.name == ROOT
+            for rrset in self.authority
+            if rrset.rrtype == RRType.NS
+        )
+
+    @property
+    def referral_target(self) -> Optional[DnsName]:
+        """Owner name of the NS set in a referral's authority section."""
+        for rrset in self.authority:
+            if rrset.rrtype == RRType.NS:
+                return rrset.name
+        return None
+
+    def answer_rrset(self, rrtype: Optional[str] = None) -> Optional[RRset]:
+        """First answer RRset of the given type (default: the qtype)."""
+        wanted = rrtype if rrtype is not None else self.question.qtype
+        for rrset in self.answers:
+            if rrset.rrtype == wanted:
+                return rrset
+        return None
+
+    def authority_rrset(self, rrtype: str) -> Optional[RRset]:
+        for rrset in self.authority:
+            if rrset.rrtype == rrtype:
+                return rrset
+        return None
+
+    def glue_for(self, nsdname: DnsName) -> Tuple[RRset, ...]:
+        """Additional-section A records for a nameserver hostname."""
+        return tuple(
+            rrset
+            for rrset in self.additional
+            if rrset.name == nsdname and rrset.rrtype == RRType.A
+        )
+
+    def with_rcode(self, rcode: str) -> "Message":
+        return replace(self, rcode=rcode)
+
+
+def make_query(qname: DnsName, qtype: str) -> Message:
+    """Build a query message."""
+    return Message(question=Question(qname, qtype))
+
+
+def make_response(
+    query: Message,
+    rcode: str = Rcode.NOERROR,
+    aa: bool = False,
+    answers: Tuple[RRset, ...] = (),
+    authority: Tuple[RRset, ...] = (),
+    additional: Tuple[RRset, ...] = (),
+) -> Message:
+    """Build a response echoing a query's question section."""
+    return Message(
+        question=query.question,
+        is_response=True,
+        rcode=rcode,
+        aa=aa,
+        answers=answers,
+        authority=authority,
+        additional=additional,
+    )

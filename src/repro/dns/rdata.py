@@ -1,0 +1,174 @@
+"""Resource-record data (RDATA) types.
+
+Only the record types the study touches are implemented: NS (the object
+of the whole paper), A/AAAA (nameserver addresses), SOA (whose MNAME and
+RNAME fields the provider-identification pass inspects), CNAME (alias
+chasing during resolution), and PTR/TXT/MX for completeness of the
+substrate's zones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from ..net.address import IPv4Address
+from .name import DnsName
+
+__all__ = [
+    "RRType",
+    "NS",
+    "A",
+    "AAAA",
+    "SOA",
+    "CNAME",
+    "PTR",
+    "TXT",
+    "MX",
+    "Rdata",
+]
+
+
+class RRType:
+    """Record-type mnemonics (kept as strings for cheap comparisons)."""
+
+    NS = "NS"
+    A = "A"
+    AAAA = "AAAA"
+    SOA = "SOA"
+    CNAME = "CNAME"
+    PTR = "PTR"
+    TXT = "TXT"
+    MX = "MX"
+
+    ALL = frozenset({NS, A, AAAA, SOA, CNAME, PTR, TXT, MX})
+
+    @classmethod
+    def validate(cls, rrtype: str) -> str:
+        if rrtype not in cls.ALL:
+            raise ValueError(f"unsupported record type: {rrtype!r}")
+        return rrtype
+
+
+@dataclass(frozen=True)
+class NS:
+    """Delegation to an authoritative nameserver, by hostname."""
+
+    nsdname: DnsName
+
+    rrtype = RRType.NS
+
+    def __str__(self) -> str:
+        return str(self.nsdname)
+
+
+@dataclass(frozen=True)
+class A:
+    """IPv4 address record."""
+
+    address: IPv4Address
+
+    rrtype = RRType.A
+
+    def __str__(self) -> str:
+        return str(self.address)
+
+
+@dataclass(frozen=True)
+class AAAA:
+    """IPv6 address record.
+
+    The study is IPv4-only ("the client retrieves the IPv4 addresses of
+    all authoritative nameservers"), so AAAA content is opaque text; the
+    type exists so zones can carry it and probes can ignore it, as the
+    paper's did.
+    """
+
+    address: str
+
+    rrtype = RRType.AAAA
+
+    def __str__(self) -> str:
+        return self.address
+
+
+@dataclass(frozen=True)
+class SOA:
+    """Start of authority.
+
+    ``mname`` (primary master hostname) and ``rname`` (responsible
+    mailbox) are matched against provider patterns in
+    :mod:`repro.core.provider_id`, mirroring the paper's §IV-B method.
+    """
+
+    mname: DnsName
+    rname: DnsName
+    serial: int = 1
+    refresh: int = 7200
+    retry: int = 900
+    expire: int = 1209600
+    minimum: int = 3600
+
+    rrtype = RRType.SOA
+
+    def __str__(self) -> str:
+        return (
+            f"{self.mname} {self.rname} {self.serial} {self.refresh} "
+            f"{self.retry} {self.expire} {self.minimum}"
+        )
+
+
+@dataclass(frozen=True)
+class CNAME:
+    """Alias record."""
+
+    target: DnsName
+
+    rrtype = RRType.CNAME
+
+    def __str__(self) -> str:
+        return str(self.target)
+
+
+@dataclass(frozen=True)
+class PTR:
+    """Reverse-mapping pointer.
+
+    The ethics section of the paper notes the probe host carried a PTR
+    identifying it as a research machine; the substrate models that.
+    """
+
+    target: DnsName
+
+    rrtype = RRType.PTR
+
+    def __str__(self) -> str:
+        return str(self.target)
+
+
+@dataclass(frozen=True)
+class TXT:
+    """Free-text record."""
+
+    text: str
+
+    rrtype = RRType.TXT
+
+    def __str__(self) -> str:
+        return f'"{self.text}"'
+
+
+@dataclass(frozen=True)
+class MX:
+    """Mail-exchanger record."""
+
+    preference: int
+    exchange: DnsName
+
+    rrtype = RRType.MX
+
+    def __str__(self) -> str:
+        return f"{self.preference} {self.exchange}"
+
+
+Rdata = Union[NS, A, AAAA, SOA, CNAME, PTR, TXT, MX]

@@ -1,0 +1,331 @@
+"""An iterative resolver over the simulated network.
+
+The probe pipeline needs two capabilities:
+
+1. **Direct queries** to a specific server address (steps 1, 3, and the
+   per-IP sweep of the paper's Figure 1) — :meth:`Resolver.query_at`.
+2. **Full iterative resolution** from the root (finding parent-zone
+   servers, and turning nameserver hostnames into IPv4 addresses) —
+   :meth:`Resolver.resolve`.
+
+Both record a trace of every exchange so analyses can later classify
+failures (timeout vs refusal vs lame referral) without re-probing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..net.address import IPv4Address
+from ..net.network import Network, QueryTimeout
+from .cache import ResolverCache
+from .errors import NoNameservers, ResolutionLoop
+from .message import Message, Rcode, make_query
+from .name import DnsName, ROOT
+from .rdata import A, NS, RRType
+from .rrset import RRset
+
+__all__ = ["Resolver", "Resolution", "TraceStep", "ServerFailure"]
+
+_MAX_REFERRALS = 24
+_MAX_CNAME_HOPS = 8
+_MAX_GLUELESS_DEPTH = 4
+
+
+@dataclass(frozen=True)
+class TraceStep:
+    """One client↔server exchange in a resolution."""
+
+    server: IPv4Address
+    qname: DnsName
+    qtype: str
+    outcome: str  # "answer" | "referral" | "nxdomain" | "nodata" |
+    #               "timeout" | "refused" | "servfail" | "upward" | "lame"
+    rcode: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class Resolution:
+    """Final state of an iterative resolution."""
+
+    status: str  # "ok" | "nxdomain" | "nodata" | "servfail"
+    qname: DnsName
+    qtype: str
+    answers: Tuple[RRset, ...] = ()
+    trace: Tuple[TraceStep, ...] = ()
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    def addresses(self) -> Tuple[IPv4Address, ...]:
+        """All A-record addresses in the answers, in order."""
+        found = []
+        for rrset in self.answers:
+            if rrset.rrtype == RRType.A:
+                for rdata in rrset.rdatas:
+                    assert isinstance(rdata, A)
+                    found.append(rdata.address)
+        return tuple(found)
+
+
+class ServerFailure(Exception):
+    """Internal: a single server did not usefully answer."""
+
+    def __init__(self, outcome: str) -> None:
+        super().__init__(outcome)
+        self.outcome = outcome
+
+
+class Resolver:
+    """Iterative resolver bound to a network and a set of root hints."""
+
+    def __init__(
+        self,
+        network: Network,
+        root_addresses: Sequence[IPv4Address],
+        cache: Optional[ResolverCache] = None,
+        source: Optional[IPv4Address] = None,
+        timeout: float = 3.0,
+        retries: int = 1,
+    ) -> None:
+        if not root_addresses:
+            raise ValueError("at least one root hint is required")
+        self._network = network
+        self._roots = tuple(root_addresses)
+        self._cache = cache
+        self._source = source
+        self._timeout = timeout
+        self._retries = retries
+
+    # ------------------------------------------------------------------
+    # Direct queries
+    # ------------------------------------------------------------------
+    def query_at(
+        self,
+        server: IPv4Address,
+        qname: DnsName,
+        qtype: str,
+        retries: Optional[int] = None,
+    ) -> Optional[Message]:
+        """Send one query (with retransmissions) to a specific address.
+
+        Returns the response message, or ``None`` after all attempts time
+        out — the caller decides what a silent server *means* (the heart
+        of the defective-delegation analysis).
+        """
+        attempts = 1 + (retries if retries is not None else self._retries)
+        query = make_query(qname, qtype)
+        for _ in range(attempts):
+            try:
+                return self._network.query(
+                    server, query, source=self._source, timeout=self._timeout
+                )
+            except QueryTimeout:
+                continue
+        return None
+
+    # ------------------------------------------------------------------
+    # Iterative resolution
+    # ------------------------------------------------------------------
+    def resolve(self, qname: DnsName, qtype: str) -> Resolution:
+        """Resolve from the roots, following referrals and aliases."""
+        trace: List[TraceStep] = []
+        try:
+            answers, status = self._resolve_inner(qname, qtype, trace, depth=0)
+        except (NoNameservers, ResolutionLoop):
+            return Resolution(
+                status="servfail", qname=qname, qtype=qtype, trace=tuple(trace)
+            )
+        return Resolution(
+            status=status,
+            qname=qname,
+            qtype=qtype,
+            answers=tuple(answers),
+            trace=tuple(trace),
+        )
+
+    def resolve_address(self, hostname: DnsName) -> Tuple[IPv4Address, ...]:
+        """Resolve a hostname to IPv4 addresses (empty tuple on failure)."""
+        resolution = self.resolve(hostname, RRType.A)
+        return resolution.addresses() if resolution.ok else ()
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _resolve_inner(
+        self,
+        qname: DnsName,
+        qtype: str,
+        trace: List[TraceStep],
+        depth: int,
+        cname_depth: int = 0,
+    ) -> Tuple[List[RRset], str]:
+        if depth > _MAX_GLUELESS_DEPTH:
+            raise ResolutionLoop(f"glueless chain too deep resolving {qname}")
+        if cname_depth > _MAX_CNAME_HOPS:
+            raise ResolutionLoop(f"CNAME chain too long at {qname}")
+
+        if self._cache is not None:
+            state, cached = self._cache.get_state(qname, qtype)
+            if state == "hit" and cached is not None:
+                return [cached], "ok"
+            if state == "negative":
+                return [], "nxdomain"
+
+        candidates: List[IPv4Address] = list(self._roots)
+        unresolved_ns: List[DnsName] = []
+        answers: List[RRset] = []
+
+        for _ in range(_MAX_REFERRALS):
+            response = self._try_servers(
+                candidates, unresolved_ns, qname, qtype, trace, depth
+            )
+
+            if response.rcode == Rcode.NXDOMAIN:
+                # The serving exchange is already in the trace; just
+                # settle the outcome.
+                if self._cache is not None:
+                    self._cache.put_negative(qname, qtype)
+                return answers, "nxdomain"
+
+            if response.aa and response.answers:
+                answer = response.answer_rrset(qtype)
+                cname = response.answer_rrset(RRType.CNAME)
+                if answer is not None:
+                    answers.extend(response.answers)
+                    if self._cache is not None:
+                        self._cache.put(answer)
+                    return answers, "ok"
+                if cname is not None and qtype != RRType.CNAME:
+                    # Thread the alias-chain length through the
+                    # recursion: a looping chain must exhaust the hop
+                    # budget rather than the stack.
+                    answers.extend(response.answers)
+                    target = cname.rdatas[-1].target  # type: ignore[union-attr]
+                    chased, status = self._resolve_inner(
+                        target,
+                        qtype,
+                        trace,
+                        depth,
+                        cname_depth=cname_depth + 1 + len(response.answers) // 2,
+                    )
+                    answers.extend(chased)
+                    return answers, status
+                return answers, "nodata"
+
+            if response.aa:
+                return answers, "nodata"
+
+            if response.is_referral and not response.is_upward_referral:
+                candidates, unresolved_ns = self._referral_targets(response)
+                continue
+
+            raise NoNameservers(f"no usable response for {qname} {qtype}")
+
+        raise ResolutionLoop(f"referral chain too long for {qname}")
+
+    def _referral_targets(
+        self, response: Message
+    ) -> Tuple[List[IPv4Address], List[DnsName]]:
+        """Split a referral into glued addresses and glueless NS names."""
+        delegation = None
+        for rrset in response.authority:
+            if rrset.rrtype == RRType.NS:
+                delegation = rrset
+                break
+        assert delegation is not None
+        addresses: List[IPv4Address] = []
+        glueless: List[DnsName] = []
+        for rdata in delegation.rdatas:
+            assert isinstance(rdata, NS)
+            glue = response.glue_for(rdata.nsdname)
+            if glue:
+                for glue_set in glue:
+                    for glue_rdata in glue_set.rdatas:
+                        assert isinstance(glue_rdata, A)
+                        addresses.append(glue_rdata.address)
+            else:
+                glueless.append(rdata.nsdname)
+        return addresses, glueless
+
+    def _try_servers(
+        self,
+        candidates: List[IPv4Address],
+        unresolved_ns: List[DnsName],
+        qname: DnsName,
+        qtype: str,
+        trace: List[TraceStep],
+        depth: int,
+    ) -> Message:
+        """Query candidates in order until one answers usefully.
+
+        Glueless nameservers are resolved lazily, only when every glued
+        address has failed — matching resolver practice and keeping
+        probe traffic down.
+        """
+        pending_ns = list(unresolved_ns)
+        queue = list(candidates)
+        while queue or pending_ns:
+            if not queue:
+                hostname = pending_ns.pop(0)
+                queue.extend(self._resolve_ns_host(hostname, trace, depth))
+                continue
+            server = queue.pop(0)
+            try:
+                return self._exchange(server, qname, qtype, trace)
+            except ServerFailure:
+                continue
+        raise NoNameservers(f"all nameservers failed for {qname} {qtype}")
+
+    def _resolve_ns_host(
+        self, hostname: DnsName, trace: List[TraceStep], depth: int
+    ) -> List[IPv4Address]:
+        try:
+            rrsets, status = self._resolve_inner(
+                hostname, RRType.A, trace, depth + 1
+            )
+        except (NoNameservers, ResolutionLoop):
+            return []
+        if status != "ok":
+            return []
+        addresses = []
+        for rrset in rrsets:
+            if rrset.rrtype == RRType.A:
+                for rdata in rrset.rdatas:
+                    assert isinstance(rdata, A)
+                    addresses.append(rdata.address)
+        return addresses
+
+    def _exchange(
+        self,
+        server: IPv4Address,
+        qname: DnsName,
+        qtype: str,
+        trace: List[TraceStep],
+    ) -> Message:
+        response = self.query_at(server, qname, qtype)
+        if response is None:
+            trace.append(TraceStep(server, qname, qtype, "timeout"))
+            raise ServerFailure("timeout")
+        if response.rcode == Rcode.REFUSED:
+            trace.append(TraceStep(server, qname, qtype, "refused", response.rcode))
+            raise ServerFailure("refused")
+        if response.rcode == Rcode.SERVFAIL:
+            trace.append(TraceStep(server, qname, qtype, "servfail", response.rcode))
+            raise ServerFailure("servfail")
+        if response.is_upward_referral:
+            trace.append(TraceStep(server, qname, qtype, "upward", response.rcode))
+            raise ServerFailure("upward")
+        outcome = (
+            "answer"
+            if response.answers or response.aa
+            else "referral"
+            if response.is_referral
+            else "lame"
+        )
+        trace.append(TraceStep(server, qname, qtype, outcome, response.rcode))
+        if outcome == "lame":
+            raise ServerFailure("lame")
+        return response

@@ -1,0 +1,98 @@
+"""Resource-record sets.
+
+DNS groups records sharing (owner name, type) into an RRset with a
+single TTL; referrals, answers, and zone contents all move around as
+RRsets in this substrate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Tuple
+
+from .name import DnsName
+from .rdata import RRType, Rdata
+
+__all__ = ["RRset"]
+
+
+@dataclass(frozen=True)
+class RRset:
+    """An immutable set of records sharing owner name and type.
+
+    ``rdatas`` preserves insertion order (zone-file order) but equality
+    and hashing are order-insensitive, because two nameservers serving
+    the same NS set in different orders are *consistent* for the paper's
+    §IV-D analysis.
+    """
+
+    name: DnsName
+    rrtype: str
+    ttl: int
+    rdatas: Tuple[Rdata, ...]
+
+    def __post_init__(self) -> None:
+        RRType.validate(self.rrtype)
+        if self.ttl < 0:
+            raise ValueError(f"negative TTL: {self.ttl}")
+        if not self.rdatas:
+            raise ValueError("empty RRset")
+        for rdata in self.rdatas:
+            if rdata.rrtype != self.rrtype:
+                raise ValueError(
+                    f"rdata of type {rdata.rrtype} in {self.rrtype} RRset"
+                )
+        if self.rrtype in (RRType.CNAME, RRType.SOA) and len(self.rdatas) > 1:
+            raise ValueError(f"{self.rrtype} RRset must be a singleton")
+
+    @classmethod
+    def of(
+        cls,
+        name: DnsName,
+        rdatas: Iterable[Rdata],
+        ttl: int = 3600,
+    ) -> "RRset":
+        """Build an RRset, inferring the type from the first rdata."""
+        materialized = tuple(rdatas)
+        if not materialized:
+            raise ValueError("empty RRset")
+        return cls(name, materialized[0].rrtype, ttl, materialized)
+
+    def __iter__(self) -> Iterator[Rdata]:
+        return iter(self.rdatas)
+
+    def __len__(self) -> int:
+        return len(self.rdatas)
+
+    def __contains__(self, rdata: Rdata) -> bool:
+        return rdata in self.rdatas
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RRset):
+            return NotImplemented
+        return (
+            self.name == other.name
+            and self.rrtype == other.rrtype
+            and self.ttl == other.ttl
+            and frozenset(self.rdatas) == frozenset(other.rdatas)
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.rrtype, self.ttl, frozenset(self.rdatas)))
+
+    def same_data(self, other: "RRset") -> bool:
+        """Equality ignoring TTL — the §IV-D consistency comparison."""
+        return (
+            self.name == other.name
+            and self.rrtype == other.rrtype
+            and frozenset(self.rdatas) == frozenset(other.rdatas)
+        )
+
+    def with_ttl(self, ttl: int) -> "RRset":
+        return RRset(self.name, self.rrtype, ttl, self.rdatas)
+
+    def __str__(self) -> str:
+        return "\n".join(
+            f"{self.name} {self.ttl} IN {self.rrtype} {rdata}"
+            for rdata in self.rdatas
+        )

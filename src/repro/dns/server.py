@@ -1,0 +1,215 @@
+"""Authoritative nameservers, including misbehaving ones.
+
+A server is a network host with zero or more loaded zones plus a
+*behaviour* describing how it acts for zones it does not serve.  The
+misconfiguration taxonomy the paper measures maps onto this model
+directly:
+
+- A **defective (lame) delegation** is an NS record pointing at a server
+  that has not loaded the zone (it refuses, SERVFAILs, refers upward, or
+  says nothing) — or at a hostname with no server behind it at all.
+- A **stale record** points at a server that has been detached from the
+  network entirely.
+- A **parking service** (the §IV-D dangling-NS hijack path) answers
+  authoritatively for *every* name with its own records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ..net.address import IPv4Address
+from ..net.network import Host
+from .name import DnsName, ROOT
+from .rdata import A, NS, RRType
+from .rrset import RRset
+from .message import Message, Rcode, make_response
+from .zone import LookupStatus, Zone
+
+__all__ = ["MissBehavior", "AuthoritativeServer", "ParkingServer"]
+
+
+class MissBehavior:
+    """How a server reacts to queries for zones it does not serve."""
+
+    REFUSED = "REFUSED"
+    SERVFAIL = "SERVFAIL"
+    UPWARD_REFERRAL = "UPWARD_REFERRAL"
+    SILENT = "SILENT"
+
+    ALL = frozenset({REFUSED, SERVFAIL, UPWARD_REFERRAL, SILENT})
+
+
+_ROOT_HINT_NS = RRset(
+    ROOT,
+    RRType.NS,
+    518400,
+    tuple(NS(DnsName.parse(f"{letter}.root-servers.net.")) for letter in "abc"),
+)
+
+
+class AuthoritativeServer(Host):
+    """A nameserver answering from its loaded zones.
+
+    Parameters
+    ----------
+    hostname:
+        The server's own name (what NS records elsewhere call it).
+    miss_behavior:
+        Reaction to out-of-bailiwick queries; defaults to ``REFUSED``,
+        the most common lame-server signature.
+    """
+
+    def __init__(
+        self,
+        hostname: DnsName,
+        miss_behavior: str = MissBehavior.REFUSED,
+    ) -> None:
+        if miss_behavior not in MissBehavior.ALL:
+            raise ValueError(f"unknown miss behaviour: {miss_behavior!r}")
+        self.hostname = hostname
+        self.miss_behavior = miss_behavior
+        self._zones: Dict[DnsName, Zone] = {}
+
+    # ------------------------------------------------------------------
+    # Zone management
+    # ------------------------------------------------------------------
+    def load_zone(self, zone: Zone) -> None:
+        if zone.origin in self._zones:
+            raise ValueError(f"zone {zone.origin} already loaded")
+        self._zones[zone.origin] = zone
+
+    def unload_zone(self, origin: DnsName) -> None:
+        """Drop a zone.
+
+        This is how the world generator creates lame servers from
+        previously healthy ones: the NS records elsewhere keep naming
+        this host, but it no longer serves the zone.
+        """
+        del self._zones[origin]
+
+    def serves(self, origin: DnsName) -> bool:
+        return origin in self._zones
+
+    def zone(self, origin: DnsName) -> Zone:
+        return self._zones[origin]
+
+    def zones(self) -> Tuple[Zone, ...]:
+        return tuple(self._zones.values())
+
+    def find_zone(self, qname: DnsName) -> Optional[Zone]:
+        """Longest-origin-match zone containing ``qname``."""
+        best: Optional[Zone] = None
+        for origin, zone in self._zones.items():
+            if qname.is_subdomain_of(origin):
+                if best is None or len(origin) > len(best.origin):
+                    best = zone
+        return best
+
+    # ------------------------------------------------------------------
+    # Query handling
+    # ------------------------------------------------------------------
+    def handle_datagram(
+        self, payload: object, source: IPv4Address
+    ) -> Optional[Message]:
+        if not isinstance(payload, Message) or payload.is_response:
+            return None
+        query = payload
+        zone = self.find_zone(query.question.qname)
+        if zone is None:
+            return self._miss(query)
+        return self._answer_from(zone, query)
+
+    def _miss(self, query: Message) -> Optional[Message]:
+        if self.miss_behavior == MissBehavior.SILENT:
+            return None
+        if self.miss_behavior == MissBehavior.SERVFAIL:
+            return make_response(query, rcode=Rcode.SERVFAIL)
+        if self.miss_behavior == MissBehavior.UPWARD_REFERRAL:
+            return make_response(query, authority=(_ROOT_HINT_NS,))
+        return make_response(query, rcode=Rcode.REFUSED)
+
+    def _answer_from(self, zone: Zone, query: Message) -> Message:
+        qname, qtype = query.question.qname, query.question.qtype
+        result = zone.lookup(qname, qtype)
+
+        if result.status == LookupStatus.ANSWER:
+            return make_response(query, aa=True, answers=result.answers)
+
+        if result.status == LookupStatus.REFERRAL:
+            assert result.delegation is not None
+            return make_response(
+                query,
+                aa=False,
+                authority=(result.delegation,),
+                additional=result.glue,
+            )
+
+        if result.status == LookupStatus.CNAME:
+            # Chase the alias as far as this server's own zones reach;
+            # responders commonly include the whole in-bailiwick chain.
+            answers = list(result.answers)
+            target = result.cname
+            hops = 0
+            while target is not None and hops < 8:
+                hops += 1
+                next_zone = self.find_zone(target)
+                if next_zone is None:
+                    break
+                chased = next_zone.lookup(target, qtype)
+                answers.extend(chased.answers)
+                target = (
+                    chased.cname
+                    if chased.status == LookupStatus.CNAME
+                    else None
+                )
+            return make_response(query, aa=True, answers=tuple(answers))
+
+        soa_rrset = zone.get(zone.origin, RRType.SOA)
+        authority = (soa_rrset,) if soa_rrset is not None else ()
+        rcode = (
+            Rcode.NXDOMAIN
+            if result.status == LookupStatus.NXDOMAIN
+            else Rcode.NOERROR
+        )
+        return make_response(query, rcode=rcode, aa=True, authority=authority)
+
+    def __repr__(self) -> str:
+        return (
+            f"AuthoritativeServer({str(self.hostname)!r}, "
+            f"{len(self._zones)} zones)"
+        )
+
+
+@dataclass
+class ParkingServer(Host):
+    """A domain-parking nameserver: authoritative for everything.
+
+    Models the dangling-NS hijack vector from §IV-D — when a nameserver
+    domain lapses to (or is registered by) a parking operator, that
+    operator's servers "respond to all DNS queries with answers directing
+    users to their own servers".
+    """
+
+    hostname: DnsName
+    park_address: IPv4Address
+    ns_set: Tuple[DnsName, ...]
+    ttl: int = 300
+
+    def handle_datagram(
+        self, payload: object, source: IPv4Address
+    ) -> Optional[Message]:
+        if not isinstance(payload, Message) or payload.is_response:
+            return None
+        query = payload
+        qname, qtype = query.question.qname, query.question.qtype
+        if qtype == RRType.NS:
+            answer = RRset(
+                qname, RRType.NS, self.ttl, tuple(NS(ns) for ns in self.ns_set)
+            )
+        elif qtype == RRType.A:
+            answer = RRset(qname, RRType.A, self.ttl, (A(self.park_address),))
+        else:
+            return make_response(query, aa=True)
+        return make_response(query, aa=True, answers=(answer,))

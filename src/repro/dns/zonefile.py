@@ -1,0 +1,187 @@
+"""Zone-file text: parsing and serialization.
+
+A master-file dialect sufficient for the study: ``$ORIGIN``/``$TTL``
+directives, ``@`` for the origin, blank-owner continuation lines, and —
+crucially — the relative/absolute name distinction.  A name *without* a
+trailing dot is relative and has the origin appended; a name *with* one
+is absolute and is used verbatim.
+
+That distinction is the root cause of one misconfiguration class the
+paper observes in §IV-D: writing ``ns.`` where ``ns`` was meant yields
+an absolute single-label nameserver name (just ``ns.``), which the
+server then serves as-is — producing the bare, unresolvable NS targets
+the authors found in inconsistent zones.  Because the world generator
+injects that fault *through this parser*, the bug arises the same way it
+does in the wild.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..net.address import IPv4Address
+from .errors import ZoneFileError
+from .name import DnsName
+from .rdata import A, AAAA, CNAME, MX, NS, PTR, RRType, SOA, TXT, Rdata
+from .rrset import RRset
+from .zone import Zone
+
+__all__ = ["parse_zone_file", "serialize_zone", "parse_name_token"]
+
+
+def parse_name_token(token: str, origin: DnsName) -> DnsName:
+    """Resolve one name token against an origin.
+
+    ``@`` is the origin; a trailing dot marks an absolute name; anything
+    else is relative and gets the origin appended.
+    """
+    if token == "@":
+        return origin
+    if token.endswith("."):
+        return DnsName.parse(token)
+    return DnsName.parse(token).concat(origin)
+
+
+def _parse_rdata(rrtype: str, fields: List[str], origin: DnsName) -> Rdata:
+    try:
+        if rrtype == RRType.NS:
+            (target,) = fields
+            return NS(parse_name_token(target, origin))
+        if rrtype == RRType.A:
+            (address,) = fields
+            return A(IPv4Address.parse(address))
+        if rrtype == RRType.AAAA:
+            (address,) = fields
+            return AAAA(address)
+        if rrtype == RRType.CNAME:
+            (target,) = fields
+            return CNAME(parse_name_token(target, origin))
+        if rrtype == RRType.PTR:
+            (target,) = fields
+            return PTR(parse_name_token(target, origin))
+        if rrtype == RRType.TXT:
+            text = " ".join(fields)
+            if text.startswith('"') and text.endswith('"') and len(text) >= 2:
+                text = text[1:-1]
+            return TXT(text)
+        if rrtype == RRType.MX:
+            preference, exchange = fields
+            return MX(int(preference), parse_name_token(exchange, origin))
+        if rrtype == RRType.SOA:
+            mname, rname, serial, refresh, retry, expire, minimum = fields
+            return SOA(
+                mname=parse_name_token(mname, origin),
+                rname=parse_name_token(rname, origin),
+                serial=int(serial),
+                refresh=int(refresh),
+                retry=int(retry),
+                expire=int(expire),
+                minimum=int(minimum),
+            )
+    except (ValueError, TypeError) as exc:
+        raise ZoneFileError(f"bad {rrtype} rdata {fields!r}: {exc}") from exc
+    raise ZoneFileError(f"unsupported record type: {rrtype!r}")
+
+
+def parse_zone_file(text: str, origin: Optional[DnsName] = None) -> Zone:
+    """Parse master-file text into a :class:`Zone`.
+
+    ``origin`` seeds ``$ORIGIN`` when the file does not open with the
+    directive itself.
+    """
+    current_origin = origin
+    default_ttl = 3600
+    zone: Optional[Zone] = None
+    previous_owner: Optional[DnsName] = None
+    pending: List[RRset] = []
+
+    for line_number, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.split(";", 1)[0].rstrip()
+        if not line.strip():
+            continue
+        starts_with_space = line[0] in (" ", "\t")
+        tokens = line.split()
+
+        if tokens[0] == "$ORIGIN":
+            if len(tokens) != 2 or not tokens[1].endswith("."):
+                raise ZoneFileError(
+                    f"line {line_number}: $ORIGIN needs one absolute name"
+                )
+            current_origin = DnsName.parse(tokens[1])
+            continue
+        if tokens[0] == "$TTL":
+            if len(tokens) != 2 or not tokens[1].isdigit():
+                raise ZoneFileError(f"line {line_number}: bad $TTL")
+            default_ttl = int(tokens[1])
+            continue
+
+        if current_origin is None:
+            raise ZoneFileError(
+                f"line {line_number}: record before any $ORIGIN"
+            )
+        if zone is None:
+            zone = Zone(current_origin, default_ttl=default_ttl)
+
+        # Owner name: either the first token, or carried over when the
+        # line begins with whitespace.
+        if starts_with_space:
+            if previous_owner is None:
+                raise ZoneFileError(
+                    f"line {line_number}: continuation with no prior owner"
+                )
+            owner = previous_owner
+        else:
+            owner = parse_name_token(tokens[0], current_origin)
+            tokens = tokens[1:]
+        previous_owner = owner
+
+        # Optional TTL and class tokens, in either order.
+        ttl = default_ttl
+        while tokens and (tokens[0].isdigit() or tokens[0].upper() == "IN"):
+            if tokens[0].isdigit():
+                ttl = int(tokens[0])
+            tokens = tokens[1:]
+        if not tokens:
+            raise ZoneFileError(f"line {line_number}: missing record type")
+        rrtype, *fields = tokens
+        rrtype = rrtype.upper()
+        rdata = _parse_rdata(rrtype, fields, current_origin)
+        pending.append(RRset(owner, rrtype, ttl, (rdata,)))
+
+    if zone is None:
+        raise ZoneFileError("zone file contains no records")
+
+    # Merge singleton lines into per-(name, type) RRsets, preserving
+    # file order within each set.
+    merged: dict[tuple[DnsName, str], list] = {}
+    ttls: dict[tuple[DnsName, str], int] = {}
+    for rrset in pending:
+        key = (rrset.name, rrset.rrtype)
+        merged.setdefault(key, []).extend(rrset.rdatas)
+        ttls.setdefault(key, rrset.ttl)
+    for (name, rrtype), rdatas in merged.items():
+        zone.add(RRset(name, rrtype, ttls[(name, rrtype)], tuple(rdatas)))
+    return zone
+
+
+def _relativize(name: DnsName, origin: DnsName) -> str:
+    if name == origin:
+        return "@"
+    if name.is_proper_subdomain_of(origin):
+        relative_labels = name.labels[: len(name) - len(origin)]
+        return ".".join(relative_labels)
+    return str(name)
+
+
+def serialize_zone(zone: Zone) -> str:
+    """Render a zone back to master-file text (round-trips through
+    :func:`parse_zone_file`)."""
+    lines = [f"$ORIGIN {zone.origin}", f"$TTL {zone.default_ttl}"]
+    ordered = sorted(zone.rrsets(), key=lambda r: (r.name, r.rrtype))
+    # SOA first at the apex, by convention.
+    ordered.sort(key=lambda r: 0 if r.rrtype == RRType.SOA else 1)
+    for rrset in ordered:
+        owner = _relativize(rrset.name, zone.origin)
+        for rdata in rrset.rdatas:
+            lines.append(f"{owner} {rrset.ttl} IN {rrset.rrtype} {rdata}")
+    return "\n".join(lines) + "\n"

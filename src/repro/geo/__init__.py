@@ -1,0 +1,27 @@
+"""GeoIP/ASN substrate: UN regions, AS registry, IP→ASN database."""
+
+from .asn import AsnRegistry, AutonomousSystem
+from .geoip import GeoIPDatabase, GeoIPRecord
+from .regions import (
+    PAPER_GROUP_COUNT,
+    SUBREGIONS,
+    UN_MEMBERS,
+    Country,
+    countries_in_subregion,
+    country_by_iso2,
+    paper_groups,
+)
+
+__all__ = [
+    "AsnRegistry",
+    "AutonomousSystem",
+    "GeoIPDatabase",
+    "GeoIPRecord",
+    "PAPER_GROUP_COUNT",
+    "SUBREGIONS",
+    "UN_MEMBERS",
+    "Country",
+    "countries_in_subregion",
+    "country_by_iso2",
+    "paper_groups",
+]

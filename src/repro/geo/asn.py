@@ -1,0 +1,59 @@
+"""Autonomous-system registry.
+
+Models just enough of the AS ecosystem for the paper's Table I: each AS
+has a number, an operating organization, and a home country.  The world
+generator allocates one or more ASes per hosting provider and per
+national government/ISP, so that "nameservers in different autonomous
+systems" is a meaningful property of the synthetic world.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, Optional, Tuple
+
+__all__ = ["AutonomousSystem", "AsnRegistry"]
+
+
+@dataclass(frozen=True)
+class AutonomousSystem:
+    """One autonomous system."""
+
+    asn: int
+    organization: str
+    country: str  # ISO2 of the operating organization's home country
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.asn <= 4_294_967_295:
+            raise ValueError(f"ASN out of range: {self.asn}")
+
+    def __str__(self) -> str:
+        return f"AS{self.asn} ({self.organization}, {self.country})"
+
+
+class AsnRegistry:
+    """Hands out AS numbers and remembers who got them."""
+
+    def __init__(self, first_asn: int = 64_512) -> None:
+        self._next = first_asn
+        self._by_asn: Dict[int, AutonomousSystem] = {}
+
+    def allocate(self, organization: str, country: str) -> AutonomousSystem:
+        autonomous_system = AutonomousSystem(self._next, organization, country)
+        self._by_asn[self._next] = autonomous_system
+        self._next += 1
+        return autonomous_system
+
+    def get(self, asn: int) -> Optional[AutonomousSystem]:
+        return self._by_asn.get(asn)
+
+    def __len__(self) -> int:
+        return len(self._by_asn)
+
+    def __iter__(self) -> Iterator[AutonomousSystem]:
+        return iter(self._by_asn.values())
+
+    def by_organization(self, organization: str) -> Tuple[AutonomousSystem, ...]:
+        return tuple(
+            a for a in self._by_asn.values() if a.organization == organization
+        )

@@ -1,0 +1,285 @@
+"""UN member states and the M49 geoscheme sub-regions.
+
+The paper studies the 193 UN member states and groups results by the
+UN's sub-region assignment, with one twist (Tables II/III): the ten
+countries contributing the most PDNS records are treated as their own
+groups, yielding 22 geoscheme sub-regions + 10 singleton groups = 32
+groups (hence percentages like "31 (96.9%)" with denominator 32).
+
+This table is real data (names, ISO codes, sub-regions, as of the
+paper's 2021 snapshot); everything synthetic about a country lives in
+:mod:`repro.worldgen`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, Mapping, Sequence, Tuple
+
+__all__ = [
+    "Country",
+    "UN_MEMBERS",
+    "SUBREGIONS",
+    "country_by_iso2",
+    "countries_in_subregion",
+    "paper_groups",
+    "PAPER_GROUP_COUNT",
+]
+
+
+@dataclass(frozen=True)
+class Country:
+    """A UN member state."""
+
+    name: str
+    iso2: str
+    subregion: str
+
+
+def _members() -> Tuple[Country, ...]:
+    raw: Sequence[Tuple[str, str, str]] = [
+        # --- Africa ---------------------------------------------------
+        ("Algeria", "DZ", "Northern Africa"),
+        ("Egypt", "EG", "Northern Africa"),
+        ("Libya", "LY", "Northern Africa"),
+        ("Morocco", "MA", "Northern Africa"),
+        ("Sudan", "SD", "Northern Africa"),
+        ("Tunisia", "TN", "Northern Africa"),
+        ("Burundi", "BI", "Eastern Africa"),
+        ("Comoros", "KM", "Eastern Africa"),
+        ("Djibouti", "DJ", "Eastern Africa"),
+        ("Eritrea", "ER", "Eastern Africa"),
+        ("Ethiopia", "ET", "Eastern Africa"),
+        ("Kenya", "KE", "Eastern Africa"),
+        ("Madagascar", "MG", "Eastern Africa"),
+        ("Malawi", "MW", "Eastern Africa"),
+        ("Mauritius", "MU", "Eastern Africa"),
+        ("Mozambique", "MZ", "Eastern Africa"),
+        ("Rwanda", "RW", "Eastern Africa"),
+        ("Seychelles", "SC", "Eastern Africa"),
+        ("Somalia", "SO", "Eastern Africa"),
+        ("South Sudan", "SS", "Eastern Africa"),
+        ("Uganda", "UG", "Eastern Africa"),
+        ("United Republic of Tanzania", "TZ", "Eastern Africa"),
+        ("Zambia", "ZM", "Eastern Africa"),
+        ("Zimbabwe", "ZW", "Eastern Africa"),
+        ("Angola", "AO", "Middle Africa"),
+        ("Cameroon", "CM", "Middle Africa"),
+        ("Central African Republic", "CF", "Middle Africa"),
+        ("Chad", "TD", "Middle Africa"),
+        ("Congo", "CG", "Middle Africa"),
+        ("Democratic Republic of the Congo", "CD", "Middle Africa"),
+        ("Equatorial Guinea", "GQ", "Middle Africa"),
+        ("Gabon", "GA", "Middle Africa"),
+        ("Sao Tome and Principe", "ST", "Middle Africa"),
+        ("Botswana", "BW", "Southern Africa"),
+        ("Eswatini", "SZ", "Southern Africa"),
+        ("Lesotho", "LS", "Southern Africa"),
+        ("Namibia", "NA", "Southern Africa"),
+        ("South Africa", "ZA", "Southern Africa"),
+        ("Benin", "BJ", "Western Africa"),
+        ("Burkina Faso", "BF", "Western Africa"),
+        ("Cabo Verde", "CV", "Western Africa"),
+        ("Cote d'Ivoire", "CI", "Western Africa"),
+        ("Gambia", "GM", "Western Africa"),
+        ("Ghana", "GH", "Western Africa"),
+        ("Guinea", "GN", "Western Africa"),
+        ("Guinea-Bissau", "GW", "Western Africa"),
+        ("Liberia", "LR", "Western Africa"),
+        ("Mali", "ML", "Western Africa"),
+        ("Mauritania", "MR", "Western Africa"),
+        ("Niger", "NE", "Western Africa"),
+        ("Nigeria", "NG", "Western Africa"),
+        ("Senegal", "SN", "Western Africa"),
+        ("Sierra Leone", "SL", "Western Africa"),
+        ("Togo", "TG", "Western Africa"),
+        # --- Americas -------------------------------------------------
+        ("Antigua and Barbuda", "AG", "Caribbean"),
+        ("Bahamas", "BS", "Caribbean"),
+        ("Barbados", "BB", "Caribbean"),
+        ("Cuba", "CU", "Caribbean"),
+        ("Dominica", "DM", "Caribbean"),
+        ("Dominican Republic", "DO", "Caribbean"),
+        ("Grenada", "GD", "Caribbean"),
+        ("Haiti", "HT", "Caribbean"),
+        ("Jamaica", "JM", "Caribbean"),
+        ("Saint Kitts and Nevis", "KN", "Caribbean"),
+        ("Saint Lucia", "LC", "Caribbean"),
+        ("Saint Vincent and the Grenadines", "VC", "Caribbean"),
+        ("Trinidad and Tobago", "TT", "Caribbean"),
+        ("Belize", "BZ", "Central America"),
+        ("Costa Rica", "CR", "Central America"),
+        ("El Salvador", "SV", "Central America"),
+        ("Guatemala", "GT", "Central America"),
+        ("Honduras", "HN", "Central America"),
+        ("Mexico", "MX", "Central America"),
+        ("Nicaragua", "NI", "Central America"),
+        ("Panama", "PA", "Central America"),
+        ("Argentina", "AR", "South America"),
+        ("Bolivia", "BO", "South America"),
+        ("Brazil", "BR", "South America"),
+        ("Chile", "CL", "South America"),
+        ("Colombia", "CO", "South America"),
+        ("Ecuador", "EC", "South America"),
+        ("Guyana", "GY", "South America"),
+        ("Paraguay", "PY", "South America"),
+        ("Peru", "PE", "South America"),
+        ("Suriname", "SR", "South America"),
+        ("Uruguay", "UY", "South America"),
+        ("Venezuela", "VE", "South America"),
+        ("Canada", "CA", "Northern America"),
+        ("United States of America", "US", "Northern America"),
+        # --- Asia -----------------------------------------------------
+        ("Kazakhstan", "KZ", "Central Asia"),
+        ("Kyrgyzstan", "KG", "Central Asia"),
+        ("Tajikistan", "TJ", "Central Asia"),
+        ("Turkmenistan", "TM", "Central Asia"),
+        ("Uzbekistan", "UZ", "Central Asia"),
+        ("China", "CN", "Eastern Asia"),
+        ("Japan", "JP", "Eastern Asia"),
+        ("Mongolia", "MN", "Eastern Asia"),
+        ("Democratic People's Republic of Korea", "KP", "Eastern Asia"),
+        ("Republic of Korea", "KR", "Eastern Asia"),
+        ("Brunei Darussalam", "BN", "South-eastern Asia"),
+        ("Cambodia", "KH", "South-eastern Asia"),
+        ("Indonesia", "ID", "South-eastern Asia"),
+        ("Lao People's Democratic Republic", "LA", "South-eastern Asia"),
+        ("Malaysia", "MY", "South-eastern Asia"),
+        ("Myanmar", "MM", "South-eastern Asia"),
+        ("Philippines", "PH", "South-eastern Asia"),
+        ("Singapore", "SG", "South-eastern Asia"),
+        ("Thailand", "TH", "South-eastern Asia"),
+        ("Timor-Leste", "TL", "South-eastern Asia"),
+        ("Viet Nam", "VN", "South-eastern Asia"),
+        ("Afghanistan", "AF", "Southern Asia"),
+        ("Bangladesh", "BD", "Southern Asia"),
+        ("Bhutan", "BT", "Southern Asia"),
+        ("India", "IN", "Southern Asia"),
+        ("Iran", "IR", "Southern Asia"),
+        ("Maldives", "MV", "Southern Asia"),
+        ("Nepal", "NP", "Southern Asia"),
+        ("Pakistan", "PK", "Southern Asia"),
+        ("Sri Lanka", "LK", "Southern Asia"),
+        ("Armenia", "AM", "Western Asia"),
+        ("Azerbaijan", "AZ", "Western Asia"),
+        ("Bahrain", "BH", "Western Asia"),
+        ("Cyprus", "CY", "Western Asia"),
+        ("Georgia", "GE", "Western Asia"),
+        ("Iraq", "IQ", "Western Asia"),
+        ("Israel", "IL", "Western Asia"),
+        ("Jordan", "JO", "Western Asia"),
+        ("Kuwait", "KW", "Western Asia"),
+        ("Lebanon", "LB", "Western Asia"),
+        ("Oman", "OM", "Western Asia"),
+        ("Qatar", "QA", "Western Asia"),
+        ("Saudi Arabia", "SA", "Western Asia"),
+        ("Syrian Arab Republic", "SY", "Western Asia"),
+        ("Turkey", "TR", "Western Asia"),
+        ("United Arab Emirates", "AE", "Western Asia"),
+        ("Yemen", "YE", "Western Asia"),
+        # --- Europe ---------------------------------------------------
+        ("Belarus", "BY", "Eastern Europe"),
+        ("Bulgaria", "BG", "Eastern Europe"),
+        ("Czechia", "CZ", "Eastern Europe"),
+        ("Hungary", "HU", "Eastern Europe"),
+        ("Republic of Moldova", "MD", "Eastern Europe"),
+        ("Poland", "PL", "Eastern Europe"),
+        ("Romania", "RO", "Eastern Europe"),
+        ("Russian Federation", "RU", "Eastern Europe"),
+        ("Slovakia", "SK", "Eastern Europe"),
+        ("Ukraine", "UA", "Eastern Europe"),
+        ("Denmark", "DK", "Northern Europe"),
+        ("Estonia", "EE", "Northern Europe"),
+        ("Finland", "FI", "Northern Europe"),
+        ("Iceland", "IS", "Northern Europe"),
+        ("Ireland", "IE", "Northern Europe"),
+        ("Latvia", "LV", "Northern Europe"),
+        ("Lithuania", "LT", "Northern Europe"),
+        ("Norway", "NO", "Northern Europe"),
+        ("Sweden", "SE", "Northern Europe"),
+        ("United Kingdom", "GB", "Northern Europe"),
+        ("Albania", "AL", "Southern Europe"),
+        ("Andorra", "AD", "Southern Europe"),
+        ("Bosnia and Herzegovina", "BA", "Southern Europe"),
+        ("Croatia", "HR", "Southern Europe"),
+        ("Greece", "GR", "Southern Europe"),
+        ("Italy", "IT", "Southern Europe"),
+        ("Malta", "MT", "Southern Europe"),
+        ("Montenegro", "ME", "Southern Europe"),
+        ("North Macedonia", "MK", "Southern Europe"),
+        ("Portugal", "PT", "Southern Europe"),
+        ("San Marino", "SM", "Southern Europe"),
+        ("Serbia", "RS", "Southern Europe"),
+        ("Slovenia", "SI", "Southern Europe"),
+        ("Spain", "ES", "Southern Europe"),
+        ("Austria", "AT", "Western Europe"),
+        ("Belgium", "BE", "Western Europe"),
+        ("France", "FR", "Western Europe"),
+        ("Germany", "DE", "Western Europe"),
+        ("Liechtenstein", "LI", "Western Europe"),
+        ("Luxembourg", "LU", "Western Europe"),
+        ("Monaco", "MC", "Western Europe"),
+        ("Netherlands", "NL", "Western Europe"),
+        ("Switzerland", "CH", "Western Europe"),
+        # --- Oceania --------------------------------------------------
+        ("Australia", "AU", "Australia and New Zealand"),
+        ("New Zealand", "NZ", "Australia and New Zealand"),
+        ("Fiji", "FJ", "Melanesia"),
+        ("Papua New Guinea", "PG", "Melanesia"),
+        ("Solomon Islands", "SB", "Melanesia"),
+        ("Vanuatu", "VU", "Melanesia"),
+        ("Kiribati", "KI", "Micronesia"),
+        ("Marshall Islands", "MH", "Micronesia"),
+        ("Micronesia (Federated States of)", "FM", "Micronesia"),
+        ("Nauru", "NR", "Micronesia"),
+        ("Palau", "PW", "Micronesia"),
+        ("Samoa", "WS", "Polynesia"),
+        ("Tonga", "TO", "Polynesia"),
+        ("Tuvalu", "TV", "Polynesia"),
+    ]
+    return tuple(Country(*entry) for entry in raw)
+
+
+UN_MEMBERS: Tuple[Country, ...] = _members()
+
+SUBREGIONS: Tuple[str, ...] = tuple(
+    sorted({country.subregion for country in UN_MEMBERS})
+)
+
+_BY_ISO2: Dict[str, Country] = {c.iso2: c for c in UN_MEMBERS}
+
+# The paper works with 32 groups: the 22 geoscheme sub-regions, with the
+# 10 record-heaviest countries promoted to singleton groups.
+PAPER_GROUP_COUNT = 32
+
+
+def country_by_iso2(iso2: str) -> Country:
+    try:
+        return _BY_ISO2[iso2.upper()]
+    except KeyError:
+        raise KeyError(f"not a UN member state ISO code: {iso2!r}") from None
+
+
+def countries_in_subregion(subregion: str) -> Tuple[Country, ...]:
+    if subregion not in SUBREGIONS:
+        raise KeyError(f"unknown sub-region: {subregion!r}")
+    return tuple(c for c in UN_MEMBERS if c.subregion == subregion)
+
+
+def paper_groups(top_countries: Iterable[str]) -> Mapping[str, str]:
+    """Map ISO2 → group label under the paper's Tables II/III scheme.
+
+    ``top_countries`` are the 10 ISO codes with the most PDNS records;
+    each becomes its own group, everyone else keeps their sub-region.
+    """
+    promoted: FrozenSet[str] = frozenset(code.upper() for code in top_countries)
+    unknown = promoted - set(_BY_ISO2)
+    if unknown:
+        raise KeyError(f"not UN member ISO codes: {sorted(unknown)}")
+    groups: Dict[str, str] = {}
+    for country in UN_MEMBERS:
+        if country.iso2 in promoted:
+            groups[country.iso2] = country.name
+        else:
+            groups[country.iso2] = country.subregion
+    return groups

@@ -1,0 +1,42 @@
+"""Simulated internetwork substrate: addresses, time, latency, delivery."""
+
+from .address import BlockAllocator, IPv4Address, IPv4Prefix, parse_ipv4
+from .clock import (
+    SECONDS_PER_DAY,
+    SimulatedClock,
+    date_to_epoch,
+    days_in_year,
+    epoch_to_date,
+    year_bounds,
+)
+from .latency import FixedLatency, LatencyModel, LogNormalLatency
+from .network import (
+    FunctionHost,
+    Host,
+    Network,
+    NetworkError,
+    NetworkStats,
+    QueryTimeout,
+)
+
+__all__ = [
+    "BlockAllocator",
+    "IPv4Address",
+    "IPv4Prefix",
+    "parse_ipv4",
+    "SECONDS_PER_DAY",
+    "SimulatedClock",
+    "date_to_epoch",
+    "days_in_year",
+    "epoch_to_date",
+    "year_bounds",
+    "FixedLatency",
+    "LatencyModel",
+    "LogNormalLatency",
+    "FunctionHost",
+    "Host",
+    "Network",
+    "NetworkError",
+    "NetworkStats",
+    "QueryTimeout",
+]

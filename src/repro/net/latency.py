@@ -1,0 +1,70 @@
+"""Round-trip-time models for the simulated network.
+
+The paper's measurement client queried the real Internet from a single
+vantage point in the United States; queries to distant or overloaded
+servers were slower and sometimes timed out.  Reproducing absolute
+latencies is not a goal (we report shapes, not milliseconds), but the
+probe pipeline does need a latency source so that timeouts, retry rounds,
+and per-query budgets exercise realistic code paths.
+
+The default model is a shifted log-normal: a geography-dependent base RTT
+plus heavy-tailed jitter, which matches the well-known shape of wide-area
+RTT distributions closely enough for our purposes.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+__all__ = ["LatencyModel", "LogNormalLatency", "FixedLatency"]
+
+
+class LatencyModel:
+    """Interface: produce a one-way delivery delay in seconds."""
+
+    def sample(self, rng: random.Random) -> float:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class FixedLatency(LatencyModel):
+    """Constant delay; useful in tests where timing must be exact."""
+
+    delay: float = 0.02
+
+    def __post_init__(self) -> None:
+        if self.delay < 0:
+            raise ValueError(f"negative latency: {self.delay}")
+
+    def sample(self, rng: random.Random) -> float:
+        return self.delay
+
+
+@dataclass(frozen=True)
+class LogNormalLatency(LatencyModel):
+    """Shifted log-normal delay.
+
+    Parameters
+    ----------
+    base:
+        Minimum one-way delay in seconds (propagation floor).
+    median_extra:
+        Median of the variable component, in seconds.
+    sigma:
+        Log-space standard deviation of the variable component; larger
+        values produce heavier tails (more near-timeout stragglers).
+    """
+
+    base: float = 0.01
+    median_extra: float = 0.03
+    sigma: float = 0.6
+
+    def __post_init__(self) -> None:
+        if self.base < 0 or self.median_extra <= 0 or self.sigma <= 0:
+            raise ValueError("latency parameters must be positive")
+
+    def sample(self, rng: random.Random) -> float:
+        mu = math.log(self.median_extra)
+        return self.base + rng.lognormvariate(mu, self.sigma)

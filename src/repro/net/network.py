@@ -1,0 +1,238 @@
+"""An in-process simulated internetwork.
+
+The substrate beneath the DNS reproduction.  Hosts (authoritative
+nameservers, mostly) are objects bound to IPv4 addresses; a
+:class:`Network` delivers request/response exchanges between a client
+and a host, charging simulated time for latency and modeling loss,
+unreachable addresses, and silent (blackholed) hosts.
+
+The exchange model is deliberately UDP-shaped, matching how the paper's
+probes talk to authoritative servers: a single datagram out, at most one
+datagram back, and any failure manifests to the client as a timeout.
+The client-side retry policy lives in the DNS resolver, not here.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional
+
+from .address import IPv4Address
+from .clock import SimulatedClock
+from .latency import FixedLatency, LatencyModel
+
+__all__ = ["Host", "NetworkError", "QueryTimeout", "Network", "NetworkStats"]
+
+
+class NetworkError(Exception):
+    """Base class for simulated-network failures."""
+
+
+class QueryTimeout(NetworkError):
+    """No response arrived within the caller's timeout.
+
+    Unreachable addresses, dropped datagrams, and servers that are
+    administratively down all look identical to the client — exactly as
+    on the real Internet.
+    """
+
+    def __init__(self, destination: IPv4Address, timeout: float) -> None:
+        super().__init__(f"query to {destination} timed out after {timeout}s")
+        self.destination = destination
+        self.timeout = timeout
+
+
+class Host:
+    """Anything that can be attached to the network at an address.
+
+    Subclasses implement :meth:`handle_datagram`; returning ``None``
+    means the host silently drops the datagram (the client will time
+    out).
+    """
+
+    def handle_datagram(self, payload: Any, source: IPv4Address) -> Optional[Any]:
+        raise NotImplementedError
+
+
+@dataclass
+class NetworkStats:
+    """Counters the ethics module and tests use to audit probe traffic."""
+
+    queries_sent: int = 0
+    responses_received: int = 0
+    timeouts: int = 0
+    datagrams_lost: int = 0
+    per_destination: Dict[IPv4Address, int] = field(default_factory=dict)
+
+    def record_query(self, destination: IPv4Address) -> None:
+        self.queries_sent += 1
+        self.per_destination[destination] = (
+            self.per_destination.get(destination, 0) + 1
+        )
+
+
+@dataclass
+class _Attachment:
+    host: Host
+    up: bool = True
+    loss_rate: float = 0.0
+    latency: Optional[LatencyModel] = None
+
+
+class Network:
+    """Registry of hosts plus a request/response delivery fabric.
+
+    Parameters
+    ----------
+    clock:
+        Simulated clock charged for each exchange.
+    rng:
+        Source of randomness for loss and latency.  Supply a seeded
+        :class:`random.Random` for reproducible runs.
+    default_latency:
+        Latency model used for attachments that do not override it.
+    """
+
+    def __init__(
+        self,
+        clock: Optional[SimulatedClock] = None,
+        rng: Optional[random.Random] = None,
+        default_latency: Optional[LatencyModel] = None,
+        flaky_share: float = 0.0,
+        flaky_loss_rate: float = 0.5,
+    ) -> None:
+        """``flaky_share``/``flaky_loss_rate``: at attach time, that
+        share of hosts (those without an explicit loss rate) gets the
+        given loss rate — the transient-failure population that the
+        probe's retry round exists to absorb."""
+        if not 0.0 <= flaky_share <= 1.0:
+            raise ValueError(f"flaky share out of range: {flaky_share}")
+        self.clock = clock if clock is not None else SimulatedClock()
+        self._rng = rng if rng is not None else random.Random(0)
+        self._default_latency = (
+            default_latency if default_latency is not None else FixedLatency(0.02)
+        )
+        self._flaky_share = flaky_share
+        self._flaky_loss_rate = flaky_loss_rate
+        self._attachments: Dict[IPv4Address, _Attachment] = {}
+        self.stats = NetworkStats()
+
+    # ------------------------------------------------------------------
+    # Topology management
+    # ------------------------------------------------------------------
+    def attach(
+        self,
+        address: IPv4Address,
+        host: Host,
+        loss_rate: float = 0.0,
+        latency: Optional[LatencyModel] = None,
+    ) -> None:
+        """Bind a host to an address.
+
+        An address can hold only one host; rebinding is an error so that
+        world-generation bugs (two servers allocated the same IP) surface
+        loudly instead of silently shadowing each other.
+        """
+        if address in self._attachments:
+            raise ValueError(f"address {address} already attached")
+        if not 0.0 <= loss_rate < 1.0:
+            raise ValueError(f"loss rate out of range: {loss_rate}")
+        if (
+            loss_rate == 0.0
+            and self._flaky_share
+            and self._rng.random() < self._flaky_share
+        ):
+            loss_rate = self._flaky_loss_rate
+        self._attachments[address] = _Attachment(
+            host=host, loss_rate=loss_rate, latency=latency
+        )
+
+    def detach(self, address: IPv4Address) -> None:
+        """Remove a host from the network (address becomes unreachable)."""
+        if address not in self._attachments:
+            raise KeyError(f"address {address} not attached")
+        del self._attachments[address]
+
+    def set_up(self, address: IPv4Address, up: bool) -> None:
+        """Administratively raise or lower a host without detaching it.
+
+        The probe retry round exists because of exactly this distinction:
+        a transiently-down host answers in round two, a detached one
+        never does.
+        """
+        self._attachments[address].up = up
+
+    def is_attached(self, address: IPv4Address) -> bool:
+        return address in self._attachments
+
+    def host_at(self, address: IPv4Address) -> Optional[Host]:
+        attachment = self._attachments.get(address)
+        return attachment.host if attachment is not None else None
+
+    def addresses(self) -> list[IPv4Address]:
+        return list(self._attachments)
+
+    # ------------------------------------------------------------------
+    # Delivery
+    # ------------------------------------------------------------------
+    def query(
+        self,
+        destination: IPv4Address,
+        payload: Any,
+        source: Optional[IPv4Address] = None,
+        timeout: float = 5.0,
+    ) -> Any:
+        """Send one datagram and wait for one response.
+
+        Returns the response payload, or raises :class:`QueryTimeout`.
+        Simulated time advances by the round-trip latency on success and
+        by the full ``timeout`` on failure — so a probe run over a world
+        full of dead servers takes proportionally longer, as it did for
+        the paper's authors.
+        """
+        if timeout <= 0:
+            raise ValueError(f"timeout must be positive: {timeout}")
+        self.stats.record_query(destination)
+        src = source if source is not None else IPv4Address.parse("192.0.2.1")
+
+        attachment = self._attachments.get(destination)
+        if attachment is None or not attachment.up:
+            return self._timeout(destination, timeout)
+
+        if attachment.loss_rate and self._rng.random() < attachment.loss_rate:
+            self.stats.datagrams_lost += 1
+            return self._timeout(destination, timeout)
+
+        latency = attachment.latency or self._default_latency
+        rtt = latency.sample(self._rng) + latency.sample(self._rng)
+        if rtt >= timeout:
+            return self._timeout(destination, timeout)
+
+        response = attachment.host.handle_datagram(payload, src)
+        if response is None:
+            return self._timeout(destination, timeout)
+
+        self.clock.advance(rtt)
+        self.stats.responses_received += 1
+        return response
+
+    def _timeout(self, destination: IPv4Address, timeout: float) -> Any:
+        self.clock.advance(timeout)
+        self.stats.timeouts += 1
+        raise QueryTimeout(destination, timeout)
+
+
+class FunctionHost(Host):
+    """Adapter wrapping a plain callable as a network host."""
+
+    def __init__(
+        self, handler: Callable[[Any, IPv4Address], Optional[Any]]
+    ) -> None:
+        self._handler = handler
+
+    def handle_datagram(self, payload: Any, source: IPv4Address) -> Optional[Any]:
+        return self._handler(payload, source)
+
+
+__all__.append("FunctionHost")

@@ -1,0 +1,22 @@
+"""Passive-DNS substrate (Farsight DNSDB stand-in)."""
+
+from .database import PdnsDatabase
+from .filtering import (
+    STABILITY_THRESHOLD_DAYS,
+    filter_pre_government,
+    government_control_start,
+    stable_records,
+)
+from .record import PdnsRecord
+from .sensor import Sensor, ZoneFileImporter
+
+__all__ = [
+    "PdnsDatabase",
+    "STABILITY_THRESHOLD_DAYS",
+    "filter_pre_government",
+    "government_control_start",
+    "stable_records",
+    "PdnsRecord",
+    "Sensor",
+    "ZoneFileImporter",
+]

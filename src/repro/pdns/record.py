@@ -1,0 +1,65 @@
+"""Passive-DNS record sets.
+
+A PDNS database stores *observations*: "this (name, type, rdata) tuple
+was seen resolving between these dates, this many times".  Identity is
+the (name, type, rdata) triple; time bounds and counts accumulate as
+sensors report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..dns.name import DnsName
+from ..dns.rdata import RRType
+
+__all__ = ["PdnsRecord"]
+
+
+@dataclass(frozen=True)
+class PdnsRecord:
+    """One aggregated PDNS observation row."""
+
+    rrname: DnsName
+    rrtype: str
+    rdata: str  # canonical presentation form
+    first_seen: float  # epoch seconds
+    last_seen: float
+    count: int = 1
+
+    def __post_init__(self) -> None:
+        RRType.validate(self.rrtype)
+        if self.last_seen < self.first_seen:
+            raise ValueError(
+                f"last_seen {self.last_seen} precedes first_seen {self.first_seen}"
+            )
+        if self.count < 1:
+            raise ValueError(f"count must be positive: {self.count}")
+
+    @property
+    def key(self) -> tuple[DnsName, str, str]:
+        return (self.rrname, self.rrtype, self.rdata)
+
+    @property
+    def duration(self) -> float:
+        """Seconds between first and last observation."""
+        return self.last_seen - self.first_seen
+
+    def active_during(self, start: float, end: float) -> bool:
+        """Whether the record's observed lifetime overlaps [start, end)."""
+        return self.first_seen < end and self.last_seen >= start
+
+    def merged_with(self, timestamp: float, count: int = 1) -> "PdnsRecord":
+        """A copy extended to cover one more observation."""
+        return replace(
+            self,
+            first_seen=min(self.first_seen, timestamp),
+            last_seen=max(self.last_seen, timestamp),
+            count=self.count + count,
+        )
+
+    def rdata_name(self) -> DnsName:
+        """Parse the rdata as a domain name (NS/CNAME/PTR records)."""
+        if self.rrtype not in (RRType.NS, RRType.CNAME, RRType.PTR):
+            raise ValueError(f"rdata of {self.rrtype} record is not a name")
+        return DnsName.parse(self.rdata)

@@ -1,0 +1,17 @@
+"""Registry substrate: ccTLD policies, registrar, whois, archive."""
+
+from .registrar import PriceModel, Quote, Registrar
+from .tld import SuffixPolicy, TldPolicy, TldRegistry
+from .whois import ArchiveIndex, WhoisDatabase, WhoisRecord
+
+__all__ = [
+    "PriceModel",
+    "Quote",
+    "Registrar",
+    "SuffixPolicy",
+    "TldPolicy",
+    "TldRegistry",
+    "ArchiveIndex",
+    "WhoisDatabase",
+    "WhoisRecord",
+]

@@ -1,0 +1,173 @@
+"""A retail registrar — the GoDaddy stand-in.
+
+The hijack-risk analyses (§IV-C/D) ask two questions of a registrar:
+*is this nameserver's registrable domain available?* and *what would it
+cost?*  The paper reports prices from $0.01 to $20,000 with a median of
+$11.99 — a mix of promotional, standard, and premium pricing.  The price
+model here reproduces that mixture deterministically: each name's price
+is a pure function of the name (via SHA-256), so repeated runs and
+repeated queries agree, exactly as a registrar's premium-pricing catalog
+would within one scrape.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from ..dns.name import DnsName
+from .tld import TldRegistry
+from .whois import WhoisDatabase, WhoisRecord
+
+__all__ = ["PriceModel", "Quote", "Registrar"]
+
+
+@dataclass(frozen=True)
+class Quote:
+    """Availability plus first-year price for one registrable domain."""
+
+    domain: DnsName
+    available: bool
+    price_usd: Optional[float]  # None when not available / not registrable
+    tier: Optional[str] = None  # "promo" | "standard" | "premium"
+
+
+class PriceModel:
+    """Deterministic name → price mapping.
+
+    Tiers (calibrated to the paper's Figure 12 distribution):
+
+    - **promo** (~12%): $0.01–$4.99 — loss-leader first-year pricing.
+    - **standard** (~63%): a handful of list prices clustered on $11.99,
+      which therefore lands as the median.
+    - **premium** (~25%): log-uniform $50–$20,000, heavier for short
+      names — the aftermarket tail.
+    """
+
+    _STANDARD_PRICES = (8.99, 9.99, 11.99, 11.99, 12.99, 14.99, 17.99)
+
+    def __init__(
+        self,
+        promo_fraction: float = 0.12,
+        premium_fraction: float = 0.25,
+        premium_min: float = 50.0,
+        premium_max: float = 20_000.0,
+        salt: str = "",
+    ) -> None:
+        if promo_fraction < 0 or premium_fraction < 0:
+            raise ValueError("fractions must be non-negative")
+        if promo_fraction + premium_fraction >= 1.0:
+            raise ValueError("promo + premium must leave room for standard")
+        if not 0 < premium_min < premium_max:
+            raise ValueError("bad premium price bounds")
+        self._promo = promo_fraction
+        self._premium = premium_fraction
+        self._premium_min = premium_min
+        self._premium_max = premium_max
+        self._salt = salt
+
+    def _draws(self, domain: DnsName) -> tuple[float, float]:
+        digest = hashlib.sha256(
+            (self._salt + str(domain)).encode("ascii")
+        ).digest()
+        tier_draw = int.from_bytes(digest[:8], "big") / 2**64
+        price_draw = int.from_bytes(digest[8:16], "big") / 2**64
+        return tier_draw, price_draw
+
+    def quote(self, domain: DnsName) -> tuple[float, str]:
+        """Return (price, tier) for a registrable domain."""
+        tier_draw, price_draw = self._draws(domain)
+        # Short second-level labels skew premium, like real aftermarkets.
+        label = domain.labels[0]
+        premium_boost = 0.25 if len(label) <= 4 else 0.0
+        if tier_draw < self._promo:
+            return round(0.01 + price_draw * 4.98, 2), "promo"
+        if tier_draw < self._promo + self._premium + premium_boost:
+            log_low = math.log(self._premium_min)
+            log_high = math.log(self._premium_max)
+            price = math.exp(log_low + price_draw * (log_high - log_low))
+            return round(price, 2), "premium"
+        index = int(price_draw * len(self._STANDARD_PRICES))
+        index = min(index, len(self._STANDARD_PRICES) - 1)
+        return self._STANDARD_PRICES[index], "standard"
+
+
+class Registrar:
+    """Availability checks and registrations against shared whois data."""
+
+    def __init__(
+        self,
+        tld_registry: TldRegistry,
+        whois: WhoisDatabase,
+        price_model: Optional[PriceModel] = None,
+        name: str = "synthetic-registrar",
+    ) -> None:
+        self._tlds = tld_registry
+        self._whois = whois
+        self._prices = price_model if price_model is not None else PriceModel()
+        self.name = name
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def registrable_domain(self, name: DnsName) -> Optional[DnsName]:
+        """The registrable domain enclosing ``name``, or None when the
+        name is itself a suffix/TLD or lies under an unknown TLD."""
+        if name.is_root or name.level < 2:
+            return None
+        if self._tlds.get(name.slice_to_level(1)) is None:
+            return None
+        suffixes = self._tlds.public_suffixes()
+        if name in suffixes:
+            return None
+        return name.registered_domain(suffixes)
+
+    def check(self, name: DnsName, now: Optional[float] = None) -> Quote:
+        """Availability + price for the registrable domain under ``name``.
+
+        Mirrors the paper's §IV-C scan: given a nameserver hostname from
+        a defective delegation, find its registrable domain and ask the
+        registrar whether anyone could simply buy it.
+        """
+        domain = self.registrable_domain(name)
+        if domain is None:
+            return Quote(domain=name, available=False, price_usd=None)
+        suffix = domain.parent() if domain.level > 1 else None
+        if suffix is not None and suffix.level >= 2:
+            policy = self._tlds.suffix_policy(suffix)
+            if policy is not None and policy.government_reserved:
+                # Reserved suffixes are not open for public registration,
+                # whatever whois says.
+                return Quote(domain=domain, available=False, price_usd=None)
+        if self._whois.is_registered(domain, now=now):
+            return Quote(domain=domain, available=False, price_usd=None)
+        price, tier = self._prices.quote(domain)
+        return Quote(domain=domain, available=True, price_usd=price, tier=tier)
+
+    # ------------------------------------------------------------------
+    # Mutations
+    # ------------------------------------------------------------------
+    def register(
+        self,
+        domain: DnsName,
+        registrant: str,
+        now: float,
+        years: int = 1,
+        is_government: bool = False,
+    ) -> WhoisRecord:
+        """Register an available domain (raises if it is not)."""
+        quote = self.check(domain, now=now)
+        if not quote.available or quote.domain != domain:
+            raise ValueError(f"{domain} is not available for registration")
+        record = WhoisRecord(
+            domain=domain,
+            registrant=registrant,
+            registrant_is_government=is_government,
+            created_at=now,
+            expires_at=now + years * 365.25 * 86_400,
+            registrar=self.name,
+        )
+        self._whois.add(record)
+        return record

@@ -1,0 +1,86 @@
+"""Whois records and the Web-Archive stand-in.
+
+Whois supplies two things the paper needs: confirmation that a
+registered domain belongs to a government entity (the ``regjeringen.no``
+case), and creation/expiry dates.  The :class:`ArchiveIndex` plays the
+Wayback Machine's role from §III-C — the earliest date a government
+website was observed at a domain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, Optional
+
+from ..dns.name import DnsName
+
+__all__ = ["WhoisRecord", "WhoisDatabase", "ArchiveIndex"]
+
+
+@dataclass(frozen=True)
+class WhoisRecord:
+    """One registered domain's registration data."""
+
+    domain: DnsName
+    registrant: str
+    registrant_is_government: bool
+    created_at: float  # epoch seconds
+    expires_at: float
+    registrar: str = "synthetic-registrar"
+
+    def is_expired(self, now: float) -> bool:
+        return now >= self.expires_at
+
+
+class WhoisDatabase:
+    """Registered-domain index keyed by registrable name."""
+
+    def __init__(self) -> None:
+        self._records: Dict[DnsName, WhoisRecord] = {}
+
+    def add(self, record: WhoisRecord) -> None:
+        self._records[record.domain] = record
+
+    def remove(self, domain: DnsName) -> None:
+        del self._records[domain]
+
+    def lookup(self, domain: DnsName) -> Optional[WhoisRecord]:
+        return self._records.get(domain)
+
+    def is_registered(self, domain: DnsName, now: Optional[float] = None) -> bool:
+        record = self._records.get(domain)
+        if record is None:
+            return False
+        if now is not None and record.is_expired(now):
+            return False
+        return True
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[WhoisRecord]:
+        return iter(self._records.values())
+
+
+class ArchiveIndex:
+    """Earliest government-content snapshot per domain.
+
+    The paper uses the Web Archive to find "the earliest date on which a
+    website appeared at the domain belonging to a government entity",
+    dating when a non-reserved domain came under government control.
+    """
+
+    def __init__(self) -> None:
+        self._first_seen: Dict[DnsName, float] = {}
+
+    def record_snapshot(self, domain: DnsName, timestamp: float) -> None:
+        """Register a government-content snapshot observation."""
+        current = self._first_seen.get(domain)
+        if current is None or timestamp < current:
+            self._first_seen[domain] = timestamp
+
+    def earliest_government_snapshot(self, domain: DnsName) -> Optional[float]:
+        return self._first_seen.get(domain)
+
+    def __len__(self) -> int:
+        return len(self._first_seen)

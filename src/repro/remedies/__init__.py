@@ -1,0 +1,18 @@
+"""Remediation toolbox (paper §V-B): CSYNC, EPP, registry locks,
+and measure→fix→re-measure sweeps."""
+
+from .csync import CsyncProcessor, CsyncRecord, SyncOutcome
+from .epp import EppResult, EppServer, EppSession, RegistryLockError
+from .sweeper import RemediationReport, RemediationSweeper
+
+__all__ = [
+    "CsyncProcessor",
+    "CsyncRecord",
+    "SyncOutcome",
+    "EppResult",
+    "EppServer",
+    "EppSession",
+    "RegistryLockError",
+    "RemediationReport",
+    "RemediationSweeper",
+]

@@ -1,0 +1,61 @@
+"""CSV/JSON export of analysis outputs.
+
+Lets downstream users regenerate the paper's plots in their own
+tooling: every table and figure the benches print can also be dumped to
+disk in machine-readable form.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Any, Iterable, Mapping, Sequence
+
+__all__ = ["to_csv", "to_json", "write_csv", "write_json"]
+
+
+def to_csv(headers: Sequence[str], rows: Iterable[Sequence[Any]]) -> str:
+    """Render rows as CSV text."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(headers)
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}"
+            )
+        writer.writerow(list(row))
+    return buffer.getvalue()
+
+
+def _jsonable(value: Any) -> Any:
+    """Coerce analysis values (DnsName, dataclasses, tuples) to JSON."""
+    if isinstance(value, Mapping):
+        return {str(key): _jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [_jsonable(item) for item in value]
+    if hasattr(value, "__dataclass_fields__"):
+        return {
+            name: _jsonable(getattr(value, name))
+            for name in value.__dataclass_fields__
+        }
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+def to_json(payload: Any, indent: int = 2) -> str:
+    return json.dumps(_jsonable(payload), indent=indent, sort_keys=True)
+
+
+def write_csv(
+    path: str, headers: Sequence[str], rows: Iterable[Sequence[Any]]
+) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(to_csv(headers, rows))
+
+
+def write_json(path: str, payload: Any) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(to_json(payload))

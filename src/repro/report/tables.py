@@ -1,0 +1,54 @@
+"""Plain-text table rendering.
+
+The benchmark harness prints each reproduced table in the same shape as
+the paper's; this module owns the alignment/formatting so every bench
+target renders consistently.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+__all__ = ["render_table", "format_percent", "format_count"]
+
+
+def format_percent(value: float, digits: int = 1) -> str:
+    """0.8931 → ``89.3%``."""
+    return f"{value * 100:.{digits}f}%"
+
+
+def format_count(value: float) -> str:
+    """12345 → ``12,345``."""
+    return f"{int(round(value)):,}"
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Render rows as an aligned monospace table."""
+    materialized: List[List[str]] = [
+        [str(cell) for cell in row] for row in rows
+    ]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}"
+            )
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return " | ".join(
+            cell.ljust(width) for cell, width in zip(cells, widths)
+        ).rstrip()
+
+    parts: List[str] = []
+    if title:
+        parts.append(title)
+    parts.append(line(headers))
+    parts.append("-+-".join("-" * width for width in widths))
+    parts.extend(line(row) for row in materialized)
+    return "\n".join(parts)

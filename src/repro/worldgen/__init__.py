@@ -1,0 +1,53 @@
+"""Synthetic-world generation: the stand-in for the real Internet."""
+
+from .config import YEARS, WorldConfig
+from .countries import CountryProfile, TOP10_ISO2, build_profiles
+from .deployment import AddressPlanner, NsHost, NsSet, PrivateHoster, ProviderInstance
+from .faults import Consistency, DefectMode, FaultPlan, FaultSampler
+from .generator import DomainTruth, KnowledgeBaseEntry, World, WorldGenerator
+from .history import (
+    PROBE_EPOCH,
+    STYLE_LOCAL,
+    STYLE_PRIVATE,
+    STYLE_PROVIDER,
+    WINDOW_START,
+    DomainHistory,
+    Era,
+    HistoryBuilder,
+    HistoryResult,
+)
+from .providers import PROVIDERS, NsLayout, ProviderSpec, provider_by_key
+
+__all__ = [
+    "YEARS",
+    "WorldConfig",
+    "CountryProfile",
+    "TOP10_ISO2",
+    "build_profiles",
+    "AddressPlanner",
+    "NsHost",
+    "NsSet",
+    "PrivateHoster",
+    "ProviderInstance",
+    "Consistency",
+    "DefectMode",
+    "FaultPlan",
+    "FaultSampler",
+    "DomainTruth",
+    "KnowledgeBaseEntry",
+    "World",
+    "WorldGenerator",
+    "PROBE_EPOCH",
+    "WINDOW_START",
+    "STYLE_LOCAL",
+    "STYLE_PRIVATE",
+    "STYLE_PROVIDER",
+    "DomainHistory",
+    "Era",
+    "HistoryBuilder",
+    "HistoryResult",
+    "PROVIDERS",
+    "NsLayout",
+    "ProviderSpec",
+    "provider_by_key",
+]

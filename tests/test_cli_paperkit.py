@@ -1,0 +1,110 @@
+"""Tests for the CLI and the paperkit bundle exporter."""
+
+import csv
+import io
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.report.paperkit import ARTIFACTS, export_all, render_all
+
+
+class TestPaperkit:
+    @pytest.fixture(scope="class")
+    def rendered(self, study):
+        return render_all(study)
+
+    def test_every_artifact_rendered(self, rendered):
+        assert set(rendered) == set(ARTIFACTS)
+        for artifact, text in rendered.items():
+            assert text.strip(), artifact
+
+    def test_titles_name_the_right_artifact(self, rendered):
+        assert "Figure 2" in rendered["fig02"]
+        assert "Figure 9" in rendered["fig09"]
+        assert "Table I " in rendered["tab1"]
+        assert "Table II " in rendered["tab2"]
+        assert "Table III" in rendered["tab3"]
+        assert "Figure 13" in rendered["fig13"]
+
+    def test_export_writes_txt_and_csv(self, study, tmp_path):
+        written = export_all(study, str(tmp_path / "kit"))
+        assert set(written) == set(ARTIFACTS)
+        for artifact, (txt_path, csv_path) in written.items():
+            text = open(txt_path).read()
+            assert text.strip()
+            with open(csv_path) as handle:
+                rows = list(csv.reader(handle))
+            assert len(rows) >= 1  # header always present
+            header = rows[0]
+            assert all(header), artifact
+
+    def test_csv_fig02_matches_analysis(self, study, tmp_path):
+        written = export_all(study, str(tmp_path / "kit"))
+        with open(written["fig02"][1]) as handle:
+            rows = list(csv.reader(handle))[1:]
+        fig2 = study.pdns_replication().figure2()
+        assert len(rows) == len(fig2)
+        for year_text, domains_text, countries_text in rows:
+            year = int(year_text)
+            assert fig2[year] == (int(domains_text), int(countries_text))
+
+
+class TestCliParser:
+    def test_all_commands_registered(self):
+        parser = build_parser()
+        for command in ("headline", "paperkit", "audit", "hijackscan", "remediate"):
+            args = parser.parse_args(
+                [command] + (["XX"] if command == "audit" else [])
+                + (["/tmp/x"] if command == "paperkit" else [])
+            )
+            assert args.command == command
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["headline"])
+        assert args.seed == 7
+        assert args.scale == 0.02
+
+    def test_missing_command_errors(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCliExecution:
+    SMALL = ["--scale", "0.002", "--seed", "11"]
+
+    def run_cli(self, argv):
+        out = io.StringIO()
+        code = main(argv, out=out)
+        return code, out.getvalue()
+
+    def test_headline(self):
+        code, text = self.run_cli(self.SMALL + ["headline"])
+        assert code == 0
+        assert "98.4%" in text  # the paper column
+        assert "Measured" in text
+
+    def test_audit_known_country(self):
+        code, text = self.run_cli(self.SMALL + ["audit", "cn"])
+        assert code == 0
+        assert "d_gov: gov.cn." in text
+
+    def test_audit_unknown_country(self):
+        code, text = self.run_cli(self.SMALL + ["audit", "zz"])
+        assert code == 1
+
+    def test_hijackscan(self):
+        code, text = self.run_cli(self.SMALL + ["hijackscan"])
+        assert code == 0
+        assert "registrable" in text or "no registrable" in text
+
+    def test_paperkit(self, tmp_path):
+        outdir = str(tmp_path / "artifacts")
+        code, text = self.run_cli(self.SMALL + ["paperkit", outdir])
+        assert code == 0
+        assert "15 artifacts" in text
+
+    def test_remediate(self):
+        code, text = self.run_cli(self.SMALL + ["remediate"])
+        assert code == 0
+        assert "any defective" in text

@@ -1,0 +1,190 @@
+"""Tests for repro.dns.name."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.dns.errors import NameError_
+from repro.dns.name import ROOT, DnsName, parse_cached
+
+LABEL = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz0123456789-",
+    min_size=1,
+    max_size=12,
+)
+NAME = st.lists(LABEL, min_size=0, max_size=5).map(DnsName)
+
+
+class TestParsing:
+    def test_parse_simple(self):
+        name = DnsName.parse("www.gov.au")
+        assert name.labels == ("www", "gov", "au")
+
+    def test_trailing_dot_optional(self):
+        assert DnsName.parse("gov.au.") == DnsName.parse("gov.au")
+
+    def test_root_forms(self):
+        assert DnsName.parse(".") == ROOT
+        assert DnsName.parse("") == ROOT
+        assert ROOT.is_root
+
+    def test_case_insensitive(self):
+        assert DnsName.parse("GOV.AU") == DnsName.parse("gov.au")
+
+    @pytest.mark.parametrize("text", [".gov.au", "gov..au", "a b.com"])
+    def test_malformed_rejected(self, text):
+        with pytest.raises(NameError_):
+            DnsName.parse(text)
+
+    def test_long_label_rejected(self):
+        with pytest.raises(NameError_):
+            DnsName(("x" * 64, "com"))
+
+    def test_long_name_rejected(self):
+        labels = tuple("a" * 60 for _ in range(5))
+        with pytest.raises(NameError_):
+            DnsName(labels)
+
+    def test_parse_cached_same_value(self):
+        assert parse_cached("gov.au") == DnsName.parse("gov.au")
+
+    def test_immutability(self):
+        name = DnsName.parse("gov.au")
+        with pytest.raises(AttributeError):
+            name._labels = ()
+
+
+class TestHierarchy:
+    def test_level(self):
+        assert DnsName.parse("au").level == 1
+        assert DnsName.parse("gov.au").level == 2
+        assert DnsName.parse("health.gov.au").level == 3
+
+    def test_parent(self):
+        assert DnsName.parse("health.gov.au").parent() == DnsName.parse("gov.au")
+
+    def test_root_has_no_parent(self):
+        with pytest.raises(NameError_):
+            ROOT.parent()
+
+    def test_ancestors_nearest_first(self):
+        chain = list(DnsName.parse("a.b.c").ancestors())
+        assert chain == [DnsName.parse("b.c"), DnsName.parse("c"), ROOT]
+
+    def test_ancestors_include_self(self):
+        chain = list(DnsName.parse("b.c").ancestors(include_self=True))
+        assert chain[0] == DnsName.parse("b.c")
+
+    def test_is_subdomain_of(self):
+        child = DnsName.parse("www.health.gov.au")
+        assert child.is_subdomain_of(DnsName.parse("gov.au"))
+        assert child.is_subdomain_of(child)
+        assert child.is_subdomain_of(ROOT)
+        assert not child.is_subdomain_of(DnsName.parse("gov.uk"))
+
+    def test_label_boundary_respected(self):
+        # "xgov.au" is NOT under "gov.au" — the paper's suffix matching
+        # depends on label, not string, boundaries.
+        assert not DnsName.parse("xgov.au").is_subdomain_of(
+            DnsName.parse("gov.au")
+        )
+
+    def test_proper_subdomain(self):
+        name = DnsName.parse("gov.au")
+        assert not name.is_proper_subdomain_of(name)
+        assert DnsName.parse("a.gov.au").is_proper_subdomain_of(name)
+
+    def test_child_label_under(self):
+        name = DnsName.parse("www.health.gov.au")
+        assert name.child_label_under(DnsName.parse("gov.au")) == "health"
+
+    def test_child_label_under_rejects_unrelated(self):
+        with pytest.raises(NameError_):
+            DnsName.parse("a.com").child_label_under(DnsName.parse("org"))
+
+    def test_slice_to_level(self):
+        name = DnsName.parse("a.b.gov.au")
+        assert name.slice_to_level(2) == DnsName.parse("gov.au")
+        assert name.slice_to_level(0) == ROOT
+        with pytest.raises(NameError_):
+            name.slice_to_level(5)
+
+
+class TestAlgebra:
+    def test_prepend(self):
+        assert DnsName.parse("gov.au").prepend("www") == DnsName.parse(
+            "www.gov.au"
+        )
+
+    def test_concat(self):
+        assert DnsName.parse("ns1").concat(DnsName.parse("gov.au")) == (
+            DnsName.parse("ns1.gov.au")
+        )
+
+    def test_ordering_groups_subdomains(self):
+        names = sorted(
+            DnsName.parse(t)
+            for t in ["gov.br", "a.gov.au", "gov.au", "b.gov.au"]
+        )
+        assert names[0] == DnsName.parse("gov.au")
+        assert names[-1] == DnsName.parse("gov.br")
+
+    def test_str_has_trailing_dot(self):
+        assert str(DnsName.parse("gov.au")) == "gov.au."
+        assert str(ROOT) == "."
+
+
+class TestRegisteredDomain:
+    SUFFIXES = frozenset(
+        {DnsName.parse("gov.au"), DnsName.parse("au"), DnsName.parse("com")}
+    )
+
+    def test_under_listed_suffix(self):
+        name = DnsName.parse("www.health.gov.au")
+        assert name.registered_domain(self.SUFFIXES) == DnsName.parse(
+            "health.gov.au"
+        )
+
+    def test_longest_suffix_wins(self):
+        # gov.au beats au.
+        name = DnsName.parse("x.gov.au")
+        assert name.registered_domain(self.SUFFIXES) == DnsName.parse("x.gov.au")
+
+    def test_unlisted_tld_falls_back_to_level2(self):
+        name = DnsName.parse("www.regjeringen.no")
+        assert name.registered_domain(self.SUFFIXES) == DnsName.parse(
+            "regjeringen.no"
+        )
+
+    def test_suffix_itself_rejected(self):
+        with pytest.raises(NameError_):
+            DnsName.parse("gov.au").registered_domain(self.SUFFIXES)
+
+    def test_bare_tld_rejected(self):
+        with pytest.raises(NameError_):
+            DnsName.parse("xyz").registered_domain(self.SUFFIXES)
+
+
+class TestProperties:
+    @given(NAME)
+    def test_parse_str_round_trip(self, name):
+        assert DnsName.parse(str(name)) == name
+
+    @given(NAME, LABEL)
+    def test_prepend_then_parent(self, name, label):
+        assert name.prepend(label).parent() == name
+
+    @given(NAME)
+    def test_ancestor_count_is_level(self, name):
+        assert len(list(name.ancestors())) == name.level
+
+    @given(NAME, NAME)
+    def test_concat_subdomain(self, left, right):
+        try:
+            combined = left.concat(right)
+        except NameError_:
+            return  # combined name exceeded length limits
+        assert combined.is_subdomain_of(right)
+
+    @given(NAME)
+    def test_hash_consistency(self, name):
+        assert hash(DnsName(name.labels)) == hash(name)

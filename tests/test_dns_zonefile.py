@@ -1,0 +1,120 @@
+"""Tests for repro.dns.zonefile, including the dropped-origin typo."""
+
+import pytest
+
+from repro.dns.errors import ZoneFileError
+from repro.dns.name import DnsName
+from repro.dns.rdata import RRType
+from repro.dns.zonefile import parse_name_token, parse_zone_file, serialize_zone
+
+N = DnsName.parse
+
+SAMPLE = """\
+$ORIGIN gov.au.
+$TTL 3600
+@ IN SOA ns1 hostmaster 1 7200 900 1209600 3600
+@ IN NS ns1
+@ IN NS ns2
+ns1 IN A 1.0.0.1
+ns2 IN A 1.0.0.2
+www 300 IN A 9.9.9.9
+health IN NS ns1.health
+ns1.health IN A 2.0.0.1
+mail IN MX 10 mailhost
+portal IN CNAME www
+info IN TXT "government portal"
+"""
+
+
+class TestNameTokens:
+    def test_relative_appends_origin(self):
+        assert parse_name_token("ns1", N("gov.au")) == N("ns1.gov.au")
+
+    def test_absolute_used_verbatim(self):
+        assert parse_name_token("ns1.example.com.", N("gov.au")) == N(
+            "ns1.example.com"
+        )
+
+    def test_at_is_origin(self):
+        assert parse_name_token("@", N("gov.au")) == N("gov.au")
+
+    def test_dropped_origin_typo(self):
+        # Writing "ns." where "ns" was meant yields the bare single-label
+        # name — exactly the §IV-D pathology.
+        typo = parse_name_token("ns.", N("gov.au"))
+        assert typo.labels == ("ns",)
+        assert typo.level == 1
+
+
+class TestParsing:
+    def test_full_zone(self):
+        zone = parse_zone_file(SAMPLE)
+        assert zone.origin == N("gov.au")
+        assert len(zone.apex_ns) == 2
+        assert zone.soa is not None
+        assert zone.get(N("www.gov.au"), RRType.A).ttl == 300
+        assert zone.get(N("health.gov.au"), RRType.NS) is not None
+
+    def test_origin_argument_seeds_parser(self):
+        zone = parse_zone_file("@ IN NS ns1\nns1 IN A 1.1.1.1", origin=N("x.y"))
+        assert zone.origin == N("x.y")
+
+    def test_record_before_origin_rejected(self):
+        with pytest.raises(ZoneFileError):
+            parse_zone_file("@ IN NS ns1")
+
+    def test_empty_file_rejected(self):
+        with pytest.raises(ZoneFileError):
+            parse_zone_file("; only a comment\n")
+
+    def test_comments_and_blank_lines_ignored(self):
+        text = "$ORIGIN x.\n; comment\n\n@ IN NS ns1 ; trailing\nns1 IN A 1.1.1.1\n"
+        zone = parse_zone_file(text)
+        assert len(zone.apex_ns) == 1
+
+    def test_continuation_lines_reuse_owner(self):
+        text = "$ORIGIN x.\n@ IN NS ns1\n  IN NS ns2\nns1 IN A 1.1.1.1\nns2 IN A 1.1.1.2\n"
+        zone = parse_zone_file(text)
+        assert len(zone.apex_ns) == 2
+
+    def test_continuation_without_owner_rejected(self):
+        with pytest.raises(ZoneFileError):
+            parse_zone_file("$ORIGIN x.\n  IN NS ns1\n")
+
+    def test_bad_rdata_rejected(self):
+        with pytest.raises(ZoneFileError):
+            parse_zone_file("$ORIGIN x.\n@ IN A not-an-ip\n")
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ZoneFileError):
+            parse_zone_file("$ORIGIN x.\n@ IN WKS data\n")
+
+    def test_bad_origin_directive_rejected(self):
+        with pytest.raises(ZoneFileError):
+            parse_zone_file("$ORIGIN relative\n@ IN NS ns1\n")
+
+    def test_typo_produces_single_label_ns(self):
+        text = "$ORIGIN gov.au.\n@ IN NS ns.\n@ IN NS ns2\nns2 IN A 1.1.1.1\n"
+        zone = parse_zone_file(text)
+        names = {rdata.nsdname for rdata in zone.apex_ns.rdatas}
+        assert DnsName(("ns",)) in names
+
+
+class TestSerialization:
+    def test_round_trip(self):
+        zone = parse_zone_file(SAMPLE)
+        text = serialize_zone(zone)
+        reparsed = parse_zone_file(text)
+        assert {
+            (rrset.name, rrset.rrtype) for rrset in zone.rrsets()
+        } == {(rrset.name, rrset.rrtype) for rrset in reparsed.rrsets()}
+        for rrset in zone.rrsets():
+            other = reparsed.get(rrset.name, rrset.rrtype)
+            assert other is not None
+            assert rrset.same_data(other)
+
+    def test_soa_serialized_first(self):
+        zone = parse_zone_file(SAMPLE)
+        lines = serialize_zone(zone).splitlines()
+        record_lines = [l for l in lines if not l.startswith("$")]
+        assert " SOA " in record_lines[0]

@@ -1,0 +1,40 @@
+"""Tests for the level-based slicing the paper uses in §III-B/§IV-A."""
+
+import pytest
+
+
+class TestLevelDistribution:
+    def test_third_level_dominates(self, dataset):
+        mix = dataset.level_distribution()
+        assert mix
+        dominant_level = max(mix, key=mix.get)
+        # Paper: 85.4% third-level, 10.9% fourth-level, <1% second.
+        assert dominant_level == 3
+        assert mix[3] > 0.5
+        assert mix.get(2, 0.0) < 0.05
+
+    def test_shares_sum_to_one(self, dataset):
+        mix = dataset.level_distribution()
+        assert sum(mix.values()) == pytest.approx(1.0)
+
+    def test_fourth_level_exists(self, dataset):
+        mix = dataset.level_distribution()
+        assert mix.get(4, 0.0) > 0.02
+
+
+class TestLevelDomination:
+    def test_deep_levels_dominated_by_delegating_countries(self, dataset):
+        # The paper: Brazil's state suffixes put it on top of level 4.
+        domination = dataset.dominant_country_by_level()
+        assert 4 in domination
+        iso2, share = domination[4]
+        assert share > 0.10
+        # Brazil's calibrated depth profile should usually win level 4;
+        # at minimum the winner must be one of the deep-namespace
+        # countries.
+        assert iso2 in {"BR", "CN", "TH", "MX", "TR", "IN", "UA", "AR", "GB", "AU"}
+
+    def test_domination_shares_bounded(self, dataset):
+        for level, (iso2, share) in dataset.dominant_country_by_level().items():
+            assert 0.0 < share <= 1.0
+            assert len(iso2) == 2

@@ -1,0 +1,175 @@
+"""Property-based tests across the core data structures and invariants.
+
+These complement the per-module suites with randomized checks of the
+properties the analyses silently rely on.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.replication import (
+    _daily_count_durations,
+    _mode_of_daily_counts,
+    _summarize_daily_counts,
+)
+from repro.dns.name import DnsName
+from repro.dns.rdata import NS, RRType
+from repro.dns.rrset import RRset
+from repro.dns.zone import LookupStatus, Zone
+from repro.net.clock import SECONDS_PER_DAY, year_bounds
+from repro.pdns.database import PdnsDatabase
+from repro.registry.registrar import PriceModel
+
+LABEL = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz0123456789", min_size=1, max_size=8
+)
+NAME = st.lists(LABEL, min_size=1, max_size=4).map(DnsName)
+
+YEAR_START, YEAR_END = year_bounds(2020)
+INTERVAL = st.tuples(
+    st.floats(
+        min_value=YEAR_START - 100 * SECONDS_PER_DAY,
+        max_value=YEAR_END + 100 * SECONDS_PER_DAY,
+    ),
+    st.floats(min_value=0, max_value=400 * SECONDS_PER_DAY),
+).map(lambda pair: (pair[0], pair[0] + pair[1]))
+
+
+class TestNsDailySummaries:
+    @given(st.lists(INTERVAL, max_size=8))
+    def test_durations_are_positive(self, intervals):
+        durations = _daily_count_durations(intervals, YEAR_START, YEAR_END)
+        assert all(v > 0 for v in durations.values())
+        assert all(k > 0 for k in durations)
+
+    @given(st.lists(INTERVAL, max_size=8))
+    def test_total_duration_bounded_by_year(self, intervals):
+        durations = _daily_count_durations(intervals, YEAR_START, YEAR_END)
+        # Some intervals extend a day past year end (inclusive last
+        # day), so allow that slack.
+        assert sum(durations.values()) <= (YEAR_END - YEAR_START) + SECONDS_PER_DAY
+
+    @given(st.lists(INTERVAL, max_size=8))
+    def test_min_mode_max_ordering(self, intervals):
+        low = _summarize_daily_counts(intervals, YEAR_START, YEAR_END, "min")
+        mid = _summarize_daily_counts(intervals, YEAR_START, YEAR_END, "mode")
+        high = _summarize_daily_counts(intervals, YEAR_START, YEAR_END, "max")
+        assert low <= mid <= high
+
+    @given(st.lists(INTERVAL, min_size=1, max_size=8))
+    def test_max_bounded_by_interval_count(self, intervals):
+        high = _summarize_daily_counts(intervals, YEAR_START, YEAR_END, "max")
+        assert high <= len(intervals)
+
+    @given(st.lists(INTERVAL, max_size=8))
+    def test_mode_agrees_with_dedicated_function(self, intervals):
+        assert _mode_of_daily_counts(
+            intervals, YEAR_START, YEAR_END
+        ) == _summarize_daily_counts(intervals, YEAR_START, YEAR_END, "mode")
+
+
+class TestZoneLookupProperties:
+    @settings(max_examples=50)
+    @given(st.lists(LABEL, min_size=1, max_size=10, unique=True), st.data())
+    def test_every_in_zone_name_classifies(self, labels, data):
+        zone = Zone(DnsName.parse("gov.zz"))
+        zone.add_records(
+            DnsName.parse("gov.zz"), NS(DnsName.parse("ns1.gov.zz"))
+        )
+        delegated = []
+        for index, label in enumerate(labels):
+            name = DnsName.parse(f"{label}.gov.zz")
+            if index % 2 == 0:
+                zone.add_records(name, NS(DnsName.parse(f"ns1.{name}")))
+                delegated.append(name)
+        probe_label = data.draw(LABEL)
+        probe = DnsName.parse(f"{probe_label}.gov.zz")
+        result = zone.lookup(probe, RRType.A)
+        assert result.status in (
+            LookupStatus.ANSWER,
+            LookupStatus.REFERRAL,
+            LookupStatus.NXDOMAIN,
+            LookupStatus.NODATA,
+            LookupStatus.CNAME,
+        )
+        if result.status == LookupStatus.REFERRAL:
+            assert result.delegation is not None
+            assert probe.is_subdomain_of(result.delegation.name)
+
+    @settings(max_examples=50)
+    @given(st.lists(LABEL, min_size=1, max_size=6, unique=True))
+    def test_delegations_always_referred(self, labels):
+        zone = Zone(DnsName.parse("gov.zz"))
+        zone.add_records(
+            DnsName.parse("gov.zz"), NS(DnsName.parse("ns1.gov.zz"))
+        )
+        for label in labels:
+            child = DnsName.parse(f"{label}.gov.zz")
+            zone.add_records(child, NS(DnsName.parse(f"ns1.{child}")))
+        for label in labels:
+            below = DnsName.parse(f"www.{label}.gov.zz")
+            result = zone.lookup(below, RRType.A)
+            assert result.status == LookupStatus.REFERRAL
+            assert result.delegation.name == DnsName.parse(f"{label}.gov.zz")
+
+
+class TestPdnsProperties:
+    @settings(max_examples=40)
+    @given(
+        st.lists(
+            st.tuples(NAME, st.floats(min_value=0, max_value=1e9)),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    def test_observation_merge_invariants(self, observations):
+        db = PdnsDatabase()
+        for name, timestamp in observations:
+            db.observe(name, RRType.NS, "ns1.x.", timestamp)
+        for record in db:
+            assert record.first_seen <= record.last_seen
+            assert record.count >= 1
+        # Total observation count is conserved.
+        assert sum(r.count for r in db) == len(observations)
+
+    @settings(max_examples=40)
+    @given(st.lists(NAME, min_size=1, max_size=25))
+    def test_wildcard_is_exactly_the_subtree(self, names):
+        db = PdnsDatabase()
+        for index, name in enumerate(names):
+            db.observe(name, RRType.NS, f"ns{index}.x.", float(index))
+        for suffix in names[:5]:
+            matched = {r.rrname for r in db.wildcard_left(suffix)}
+            expected = {
+                r.rrname for r in db if r.rrname.is_subdomain_of(suffix)
+            }
+            assert matched == expected
+
+
+class TestPriceModelProperties:
+    @given(NAME, st.integers(min_value=0, max_value=3))
+    def test_quotes_stable_across_instances(self, name, salt_index):
+        salt = str(salt_index)
+        a = PriceModel(salt=salt).quote(name)
+        b = PriceModel(salt=salt).quote(name)
+        assert a == b
+
+    @given(st.lists(NAME, min_size=20, max_size=60, unique=True))
+    def test_tier_mixture_present_in_bulk(self, names):
+        model = PriceModel()
+        tiers = {model.quote(name)[1] for name in names}
+        # With dozens of names, at least two pricing tiers appear.
+        assert len(tiers) >= 2
+
+
+class TestRRsetProperties:
+    @given(st.lists(NAME, min_size=1, max_size=6, unique=True), st.randoms())
+    def test_equality_order_insensitive(self, targets, rng):
+        owner = DnsName.parse("x.gov.zz")
+        rdatas = [NS(t) for t in targets]
+        shuffled = list(rdatas)
+        rng.shuffle(shuffled)
+        a = RRset(owner, RRType.NS, 300, tuple(rdatas))
+        b = RRset(owner, RRType.NS, 300, tuple(shuffled))
+        assert a == b and hash(a) == hash(b)

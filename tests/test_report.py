@@ -1,0 +1,110 @@
+"""Tests for the report package: tables, figures, export."""
+
+import json
+
+import pytest
+
+from repro.report.export import to_csv, to_json, write_csv, write_json
+from repro.report.figures import (
+    Distribution,
+    Series,
+    cdf_points,
+    render_bars,
+    render_series,
+)
+from repro.report.tables import format_count, format_percent, render_table
+
+
+class TestFormatting:
+    def test_percent(self):
+        assert format_percent(0.8931) == "89.3%"
+        assert format_percent(0.8931, digits=0) == "89%"
+        assert format_percent(1.0) == "100.0%"
+
+    def test_count(self):
+        assert format_count(12345) == "12,345"
+        assert format_count(12345.6) == "12,346"
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        text = render_table(
+            ["Provider", "Domains"],
+            [["cloudflare", 4136], ["aws", 5193]],
+            title="Table II",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "Table II"
+        assert "Provider" in lines[1]
+        assert lines[2].startswith("-")
+        # Columns align: both data rows have the separator at the same
+        # offset.
+        assert lines[3].index("|") == lines[4].index("|")
+
+    def test_ragged_rows_rejected(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [["only-one"]])
+
+
+class TestFigures:
+    def test_series_from_mapping_sorts(self):
+        series = Series.from_mapping("domains", {2020: 5.0, 2011: 1.0})
+        assert series.points[0] == (2011.0, 1.0)
+
+    def test_cdf_points(self):
+        points = cdf_points({1: 2, 2: 6, 3: 2})
+        assert points == ((1.0, 0.2), (2.0, 0.8), (3.0, 1.0))
+        assert cdf_points({}) == ()
+
+    def test_render_series_has_all_years(self):
+        series = Series.from_mapping("n", {2011: 10, 2012: 20})
+        text = render_series([series], title="Fig 2")
+        assert "2011" in text and "2012" in text and "Fig 2" in text
+
+    def test_render_series_missing_points_dashed(self):
+        a = Series.from_mapping("a", {1: 10})
+        b = Series.from_mapping("b", {2: 20})
+        text = render_series([a, b])
+        assert "-" in text
+
+    def test_distribution_sorted_desc(self):
+        dist = Distribution.from_mapping("x", {"small": 1.0, "big": 9.0})
+        assert dist.values[0][0] == "big"
+        assert dist.top(1).values == (("big", 9.0),)
+
+    def test_render_bars_scales(self):
+        dist = Distribution.from_mapping("x", {"a": 100.0, "b": 50.0})
+        text = render_bars(dist, title="bars")
+        lines = text.splitlines()
+        assert lines[1].count("#") > lines[2].count("#")
+
+    def test_render_bars_empty(self):
+        assert "(empty)" in render_bars(Distribution("x", ()))
+
+
+class TestExport:
+    def test_csv_round_trip(self):
+        text = to_csv(["name", "value"], [["a", 1], ["b", 2]])
+        lines = text.strip().splitlines()
+        assert lines == ["name,value", "a,1", "b,2"]
+
+    def test_csv_ragged_rejected(self):
+        with pytest.raises(ValueError):
+            to_csv(["a", "b"], [["x"]])
+
+    def test_json_coerces_dns_names_and_dataclasses(self):
+        from repro.dns import DnsName
+        from repro.core.diversity import DiversityRow
+
+        row = DiversityRow("Total", 5, 0.9, 0.7, 0.3)
+        payload = {DnsName.parse("gov.au"): [row]}
+        decoded = json.loads(to_json(payload))
+        assert decoded["gov.au."][0]["domains"] == 5
+
+    def test_file_writers(self, tmp_path):
+        csv_path = tmp_path / "out.csv"
+        json_path = tmp_path / "out.json"
+        write_csv(str(csv_path), ["a"], [["1"]])
+        write_json(str(json_path), {"k": [1, 2]})
+        assert csv_path.read_text().startswith("a\n")
+        assert json.loads(json_path.read_text()) == {"k": [1, 2]}
