@@ -8,6 +8,7 @@ Commands
 ``hijackscan`` list registrable nameserver domains with prices
 ``remediate``  apply the §V-B toolbox and report before/after
 ``disclose``   responsible-disclosure notifications per operator
+``lint``       run reprolint, the AST-based invariant checker
 
 Common options: ``--seed`` and ``--scale`` select the deterministic
 world; everything else derives from them.
@@ -20,6 +21,7 @@ import sys
 from typing import Optional, Sequence
 
 from .core.study import GovernmentDnsStudy
+from .lint import cli as lint_cli
 from .report.paperkit import ARTIFACTS, export_all
 from .report.tables import format_percent, render_table
 from .worldgen.config import WorldConfig
@@ -64,6 +66,11 @@ def build_parser() -> argparse.ArgumentParser:
         "iso2", nargs="?", default=None,
         help="country to render (default: list all affected)",
     )
+
+    lint = sub.add_parser(
+        "lint", help="check determinism/error-hygiene/DNS-semantics invariants"
+    )
+    lint_cli.configure_parser(lint)
     return parser
 
 
@@ -238,6 +245,10 @@ def _cmd_disclose(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace, out) -> int:
+    return lint_cli.run(args, out)
+
+
 _COMMANDS = {
     "headline": _cmd_headline,
     "paperkit": _cmd_paperkit,
@@ -245,6 +256,7 @@ _COMMANDS = {
     "hijackscan": _cmd_hijackscan,
     "remediate": _cmd_remediate,
     "disclose": _cmd_disclose,
+    "lint": _cmd_lint,
 }
 
 

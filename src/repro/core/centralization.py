@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
+from ..dns.errors import NameError_
 from ..dns.name import DnsName
 from ..geo.regions import PAPER_GROUP_COUNT, paper_groups
 from .provider_id import ProviderMatcher
@@ -73,6 +74,17 @@ class CentralizationAnalysis:
         self._matcher = matcher if matcher is not None else ProviderMatcher()
         self._top_country_count = top_country_count
         self._groups: Optional[Mapping[str, str]] = None
+        self._soa_parse_failures = 0
+
+    @property
+    def soa_parse_failures(self) -> int:
+        """PDNS SOA rows skipped because their rdata would not parse.
+
+        Monotonically increasing across analysis calls; a non-zero value
+        means the provider fallback (§IV-B) ran on incomplete evidence
+        for some domains, which callers should surface rather than hide.
+        """
+        return self._soa_parse_failures
 
     # ------------------------------------------------------------------
     def _grouping(self) -> Mapping[str, str]:
@@ -100,13 +112,17 @@ class CentralizationAnalysis:
                 continue
             tokens = record.rdata.split()
             if len(tokens) < 2:
+                self._soa_parse_failures += 1
                 continue
             try:
                 return SOA(
                     mname=DnsName.parse(tokens[0]),
                     rname=DnsName.parse(tokens[1]),
                 )
-            except Exception:
+            except (NameError_, ValueError, IndexError):
+                # Malformed MNAME/RNAME in a PDNS row: skip this record
+                # but keep the skip visible via soa_parse_failures.
+                self._soa_parse_failures += 1
                 continue
         return None
 

@@ -22,7 +22,6 @@ transient failures.
 
 from __future__ import annotations
 
-import random
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from ..dns.cache import ResolverCache

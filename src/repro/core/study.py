@@ -52,11 +52,20 @@ class GovernmentDnsStudy:
     # ------------------------------------------------------------------
     def seeds(self) -> Dict[str, Seed]:
         if self._seeds is None:
+            # Seed verification uses the same §III-B query policy as the
+            # probe campaign (3 s timeout, one retransmission).
+            config = (
+                self.probe_config
+                if self.probe_config is not None
+                else ProbeConfig()
+            )
             resolver = Resolver(
                 self.world.network,
                 self.world.root_addresses,
                 cache=ResolverCache(self.world.clock),
                 source=self.world.probe_source,
+                timeout=config.timeout,
+                retries=config.retries,
             )
             selector = SeedSelector(
                 resolver,

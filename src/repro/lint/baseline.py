@@ -1,0 +1,116 @@
+"""Baseline (ratchet) support.
+
+A committed JSON file lists grandfathered findings by fingerprint
+(rule id, path, offending-line text — deliberately no line number, so
+edits elsewhere in a file do not un-baseline a finding).  On a lint run:
+
+* findings matching a baseline entry are reported as *baselined* and do
+  not fail the build;
+* findings not in the baseline are *new* and fail the build;
+* baseline entries matching nothing are *stale* and reported so the
+  file can be re-generated tighter (``--write-baseline``).
+
+The ratchet only ever loosens explicitly: regenerating the baseline is a
+reviewed change to a committed file.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple
+
+from .findings import Finding
+
+__all__ = ["Baseline", "BaselineMatch", "DEFAULT_BASELINE_NAME"]
+
+DEFAULT_BASELINE_NAME = "reprolint-baseline.json"
+
+_FORMAT_VERSION = 1
+
+_Fingerprint = Tuple[str, str, str]
+
+
+@dataclass
+class BaselineMatch:
+    """Partition of a run's findings against a baseline."""
+
+    new: List[Finding] = field(default_factory=list)
+    baselined: List[Finding] = field(default_factory=list)
+    stale: List[_Fingerprint] = field(default_factory=list)
+
+
+class Baseline:
+    """A multiset of grandfathered finding fingerprints."""
+
+    def __init__(self, entries: Sequence[_Fingerprint] = ()) -> None:
+        self._counts: Dict[_Fingerprint, int] = {}
+        for entry in entries:
+            self._counts[entry] = self._counts.get(entry, 0) + 1
+
+    def __len__(self) -> int:
+        return sum(self._counts.values())
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_findings(cls, findings: Sequence[Finding]) -> "Baseline":
+        return cls([finding.fingerprint() for finding in findings])
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        """Read a baseline file; a missing file is an empty baseline."""
+        if not path.exists():
+            return cls()
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ValueError(f"unreadable baseline {path}: {exc}") from exc
+        if not isinstance(payload, dict) or "findings" not in payload:
+            raise ValueError(f"malformed baseline {path}: missing 'findings'")
+        entries: List[_Fingerprint] = []
+        for row in payload["findings"]:
+            entries.append(
+                (
+                    str(row["rule"]),
+                    str(row["path"]),
+                    str(row.get("snippet", "")),
+                )
+            )
+        return cls(entries)
+
+    def dump(self, path: Path) -> None:
+        """Write the baseline, sorted for stable diffs."""
+        rows = []
+        for (rule, file_path, snippet), count in sorted(self._counts.items()):
+            for _ in range(count):
+                rows.append({"rule": rule, "path": file_path, "snippet": snippet})
+        payload = {
+            "version": _FORMAT_VERSION,
+            "comment": (
+                "Grandfathered reprolint findings. New findings fail the "
+                "build; regenerate with: python -m repro.lint src/ "
+                "--write-baseline"
+            ),
+            "findings": rows,
+        }
+        path.write_text(
+            json.dumps(payload, indent=2, sort_keys=False) + "\n",
+            encoding="utf-8",
+        )
+
+    # ------------------------------------------------------------------
+    def match(self, findings: Sequence[Finding]) -> BaselineMatch:
+        """Split findings into new vs baselined; report stale entries."""
+        remaining = dict(self._counts)
+        result = BaselineMatch()
+        for finding in findings:
+            key = finding.fingerprint()
+            if remaining.get(key, 0) > 0:
+                remaining[key] -= 1
+                result.baselined.append(finding)
+            else:
+                result.new.append(finding)
+        for key, count in sorted(remaining.items()):
+            result.stale.extend([key] * count)
+        return result

@@ -1,0 +1,146 @@
+"""Command-line front end: ``python -m repro.lint`` and ``repro lint``.
+
+Exit status: 0 when no non-baselined findings, 1 when new findings
+exist, 2 on usage errors.  ``configure_parser`` is shared with the main
+``repro`` CLI so both entry points accept identical options.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import IO, List, Optional, Sequence
+
+from .baseline import DEFAULT_BASELINE_NAME, Baseline
+from .engine import LintEngine
+from .output import FORMATS, render_json, render_sarif, render_text
+
+__all__ = ["build_parser", "configure_parser", "run", "main"]
+
+_VERSION = "1.0.0"
+
+
+def configure_parser(parser: argparse.ArgumentParser) -> None:
+    """Attach reprolint's options to an (sub)parser."""
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=FORMATS,
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help=(
+            "baseline file for grandfathered findings "
+            f"(default: ./{DEFAULT_BASELINE_NAME} when present)"
+        ),
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="re-generate the baseline from this run's findings and exit 0",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline file; every finding is treated as new",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule pack and exit",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.lint",
+        description=(
+            "AST-based invariant checker: determinism, error hygiene, "
+            "and DNS semantics"
+        ),
+    )
+    configure_parser(parser)
+    return parser
+
+
+def _resolve_baseline_path(args: argparse.Namespace) -> Optional[Path]:
+    if args.no_baseline:
+        return None
+    if args.baseline is not None:
+        return Path(args.baseline)
+    default = Path(DEFAULT_BASELINE_NAME)
+    if default.exists() or args.write_baseline:
+        return default
+    return None
+
+
+def run(args: argparse.Namespace, out: IO[str]) -> int:
+    """Execute a lint run described by parsed arguments."""
+    engine = LintEngine()
+    if args.list_rules:
+        for rule in engine.rules:
+            print(
+                f"{rule.rule_id}  [{rule.severity.value}]  {rule.description}",
+                file=out,
+            )
+        return 0
+
+    paths: List[Path] = [Path(p) for p in args.paths]
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        shown = ", ".join(str(p) for p in missing)
+        print(f"error: no such path(s): {shown}", file=out)
+        return 2
+
+    findings = engine.lint_paths(paths)
+    baseline_path = _resolve_baseline_path(args)
+
+    if args.write_baseline:
+        target = baseline_path if baseline_path is not None else Path(
+            DEFAULT_BASELINE_NAME
+        )
+        Baseline.from_findings(findings).dump(target)
+        print(
+            f"baseline written: {target} ({len(findings)} finding(s))",
+            file=out,
+        )
+        return 0
+
+    if baseline_path is not None:
+        try:
+            baseline = Baseline.load(baseline_path)
+        except ValueError as exc:
+            print(f"error: {exc}", file=out)
+            return 2
+    else:
+        baseline = Baseline()
+    match = baseline.match(findings)
+
+    if args.format == "json":
+        print(render_json(match), file=out)
+    elif args.format == "sarif":
+        print(render_sarif(match, engine.rules, _VERSION), file=out)
+    else:
+        print(render_text(match), file=out)
+    return 1 if match.new else 0
+
+
+def main(
+    argv: Optional[Sequence[str]] = None, out: Optional[IO[str]] = None
+) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return run(args, out if out is not None else sys.stdout)
+    except BrokenPipeError:
+        # Report truncated by a closed pipe (e.g. `... | head`); the
+        # findings already shown are all the reader asked for.
+        return 1

@@ -1,0 +1,55 @@
+"""Finding and severity value types shared by the engine, rules, and
+reporters."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Tuple
+
+
+class Severity(enum.Enum):
+    """How bad a finding is.
+
+    Exit status does not depend on severity — any non-baselined finding
+    fails the run — but reporters surface it (SARIF ``level``, text
+    prefix) so readers can triage.
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+    NOTE = "note"
+
+    @property
+    def sarif_level(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location.
+
+    ``snippet`` is the stripped text of the offending line; together with
+    ``path`` and ``rule_id`` it forms the baseline fingerprint, which is
+    deliberately line-number-free so unrelated edits above a
+    grandfathered finding do not un-baseline it.
+    """
+
+    path: str
+    line: int
+    column: int
+    rule_id: str
+    severity: Severity
+    message: str
+    snippet: str = ""
+
+    def fingerprint(self) -> Tuple[str, str, str]:
+        """Stable identity for baseline matching."""
+        return (self.rule_id, self.path, self.snippet)
+
+    def render(self) -> str:
+        """One-line human-readable form."""
+        return (
+            f"{self.path}:{self.line}:{self.column}: "
+            f"{self.severity.value} [{self.rule_id}] {self.message}"
+        )

@@ -1,0 +1,142 @@
+"""Reporters: text, JSON, and SARIF 2.1.0.
+
+SARIF is the interchange format GitHub code scanning and most editors
+ingest; the emitted document carries every rule's metadata plus a
+``baselineState`` per result so a viewer can distinguish ratcheted
+findings from new ones.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Sequence
+
+from .baseline import BaselineMatch
+from .engine import Rule
+from .findings import Finding
+
+__all__ = ["render_text", "render_json", "render_sarif", "FORMATS"]
+
+FORMATS = ("text", "json", "sarif")
+
+_SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+def render_text(match: BaselineMatch) -> str:
+    """Human-readable report, new findings first."""
+    lines: List[str] = []
+    for finding in match.new:
+        lines.append(finding.render())
+    for finding in match.baselined:
+        lines.append(f"{finding.render()} (baselined)")
+    for rule, path, snippet in match.stale:
+        shown = snippet if len(snippet) <= 60 else snippet[:57] + "..."
+        lines.append(
+            f"stale baseline entry: [{rule}] {path}: {shown!r} no longer fires"
+        )
+    summary = (
+        f"{len(match.new)} new finding(s), "
+        f"{len(match.baselined)} baselined, "
+        f"{len(match.stale)} stale baseline entr(y/ies)"
+    )
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def _finding_dict(finding: Finding, baselined: bool) -> Dict[str, Any]:
+    return {
+        "rule": finding.rule_id,
+        "severity": finding.severity.value,
+        "path": finding.path,
+        "line": finding.line,
+        "column": finding.column,
+        "message": finding.message,
+        "snippet": finding.snippet,
+        "baselined": baselined,
+    }
+
+
+def render_json(match: BaselineMatch) -> str:
+    """Machine-readable report mirroring the text reporter's content."""
+    payload = {
+        "findings": (
+            [_finding_dict(f, baselined=False) for f in match.new]
+            + [_finding_dict(f, baselined=True) for f in match.baselined]
+        ),
+        "stale_baseline": [
+            {"rule": rule, "path": path, "snippet": snippet}
+            for rule, path, snippet in match.stale
+        ],
+        "summary": {
+            "new": len(match.new),
+            "baselined": len(match.baselined),
+            "stale": len(match.stale),
+        },
+    }
+    return json.dumps(payload, indent=2)
+
+
+def _sarif_result(finding: Finding, baselined: bool) -> Dict[str, Any]:
+    return {
+        "ruleId": finding.rule_id,
+        "level": finding.severity.sarif_level,
+        "message": {"text": finding.message},
+        "baselineState": "unchanged" if baselined else "new",
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": finding.path,
+                        "uriBaseId": "SRCROOT",
+                    },
+                    "region": {
+                        "startLine": finding.line,
+                        "startColumn": finding.column,
+                    },
+                }
+            }
+        ],
+    }
+
+
+def render_sarif(
+    match: BaselineMatch, rules: Sequence[Rule], version: str
+) -> str:
+    """A minimal-but-valid SARIF 2.1.0 document."""
+    driver_rules = [
+        {
+            "id": rule.rule_id,
+            "shortDescription": {"text": rule.description},
+            "defaultConfiguration": {"level": rule.severity.sarif_level},
+        }
+        for rule in rules
+    ]
+    document = {
+        "$schema": _SARIF_SCHEMA,
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "reprolint",
+                        "version": version,
+                        "informationUri": (
+                            "https://github.com/example/repro"
+                        ),
+                        "rules": driver_rules,
+                    }
+                },
+                "results": (
+                    [_sarif_result(f, baselined=False) for f in match.new]
+                    + [
+                        _sarif_result(f, baselined=True)
+                        for f in match.baselined
+                    ]
+                ),
+            }
+        ],
+    }
+    return json.dumps(document, indent=2)

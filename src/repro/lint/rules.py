@@ -1,0 +1,415 @@
+"""The shipped rule pack.
+
+Determinism
+-----------
+``DET001``  wall-clock reads outside :mod:`repro.net.clock`
+``DET002``  global / unseeded randomness (module-level ``random.*``,
+            ``os.urandom``, ``uuid.uuid4``, ``secrets``)
+``DET003``  unordered ``set`` / ``dict.keys`` iteration feeding ordered
+            output without ``sorted()``
+
+Error hygiene
+-------------
+``ERR001``  bare/broad ``except`` whose body only swallows
+
+DNS semantics
+-------------
+``DNS001``  raw string comparison against DNS-name-like literals where
+            :class:`repro.dns.name.DnsName` should be used
+``RES001``  ``Resolver`` construction / ``Network.query`` call sites
+            without explicit timeout/retry policy
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator, List, Optional, Tuple, Type
+
+from .engine import ModuleContext, Rule
+from .findings import Finding, Severity
+
+__all__ = [
+    "ALL_RULES",
+    "WallClockRule",
+    "GlobalRandomRule",
+    "UnsortedSetIterationRule",
+    "SilentExceptRule",
+    "StringDnsComparisonRule",
+    "MissingTimeoutRetryRule",
+]
+
+
+class WallClockRule(Rule):
+    """DET001: wall-clock time must come from the simulated clock.
+
+    Any of these anywhere but ``net/clock.py`` silently couples a run's
+    output to the machine it ran on.
+    """
+
+    rule_id = "DET001"
+    description = (
+        "wall-clock call outside net/clock.py; read time from SimulatedClock"
+    )
+    severity = Severity.ERROR
+    interests = (ast.Call,)
+
+    _BANNED = frozenset(
+        {
+            "time.time",
+            "time.time_ns",
+            "time.monotonic",
+            "time.monotonic_ns",
+            "time.perf_counter",
+            "time.perf_counter_ns",
+            "time.localtime",
+            "time.gmtime",
+            "time.sleep",
+            "datetime.datetime.now",
+            "datetime.datetime.utcnow",
+            "datetime.datetime.today",
+            "datetime.date.today",
+        }
+    )
+    _EXEMPT_SUFFIX = "net/clock.py"
+
+    def visit(self, node: ast.AST, ctx: ModuleContext) -> Iterator[Finding]:
+        assert isinstance(node, ast.Call)
+        if ctx.path.endswith(self._EXEMPT_SUFFIX):
+            return
+        resolved = ctx.resolve(node.func)
+        if resolved in self._BANNED:
+            yield self.finding(
+                node,
+                ctx,
+                f"wall-clock call {resolved}() breaks determinism; "
+                "thread a SimulatedClock through instead",
+            )
+
+
+class GlobalRandomRule(Rule):
+    """DET002: randomness must be an injected, seeded ``random.Random``.
+
+    Module-level ``random.*`` draws from interpreter-global state that
+    any import or test ordering can perturb; ``os.urandom``/``uuid4``/
+    ``secrets`` are entropy by design.  ``random.Random(seed)`` is the
+    sanctioned construction (see ``net/latency.py`` for the idiom).
+    """
+
+    rule_id = "DET002"
+    description = (
+        "global or unseeded RNG; inject a seeded random.Random instead"
+    )
+    severity = Severity.ERROR
+    interests = (ast.Call,)
+
+    _BANNED_EXACT = frozenset({"os.urandom", "uuid.uuid1", "uuid.uuid4"})
+
+    def visit(self, node: ast.AST, ctx: ModuleContext) -> Iterator[Finding]:
+        assert isinstance(node, ast.Call)
+        resolved = ctx.resolve(node.func)
+        if resolved is None:
+            return
+        if resolved in self._BANNED_EXACT or resolved.startswith("secrets."):
+            yield self.finding(
+                node,
+                ctx,
+                f"{resolved}() is non-deterministic entropy; derive ids "
+                "from the world seed instead",
+            )
+            return
+        if resolved == "random.SystemRandom":
+            yield self.finding(
+                node, ctx, "random.SystemRandom is OS entropy; use a seeded "
+                "random.Random",
+            )
+            return
+        if resolved == "random.Random":
+            if not node.args and not node.keywords:
+                yield self.finding(
+                    node,
+                    ctx,
+                    "random.Random() without a seed falls back to OS "
+                    "entropy; pass an explicit seed",
+                )
+            return
+        if resolved.startswith("random."):
+            yield self.finding(
+                node,
+                ctx,
+                f"module-level {resolved}() uses the global RNG; "
+                "call methods on an injected seeded random.Random",
+            )
+
+
+def _unordered_source(node: ast.expr) -> Optional[str]:
+    """Describe ``node`` when its iteration order is set-like, else None."""
+    if isinstance(node, ast.Set):
+        return "a set literal"
+    if isinstance(node, ast.SetComp):
+        return "a set comprehension"
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in ("set", "frozenset"):
+            return f"{func.id}(...)"
+        if isinstance(func, ast.Attribute) and func.attr == "keys":
+            return ".keys()"
+    return None
+
+
+class UnsortedSetIterationRule(Rule):
+    """DET003: unordered iteration must not feed ordered output.
+
+    ``list(set(...))`` and friends are ordered by hash-table internals;
+    the order reaches figures and CSV exports and varies with
+    ``PYTHONHASHSEED`` history of the process.  Wrap the source in
+    ``sorted()`` when the order can reach output.
+    """
+
+    rule_id = "DET003"
+    description = (
+        "unordered set/dict.keys iteration feeding ordered output; "
+        "wrap in sorted()"
+    )
+    severity = Severity.WARNING
+    interests = (ast.Call, ast.ListComp, ast.GeneratorExp)
+
+    def visit(self, node: ast.AST, ctx: ModuleContext) -> Iterator[Finding]:
+        if isinstance(node, ast.Call):
+            yield from self._visit_call(node, ctx)
+        else:
+            assert isinstance(node, (ast.ListComp, ast.GeneratorExp))
+            if isinstance(node, ast.GeneratorExp):
+                return  # a bare generator does not materialise an order
+            for generator in node.generators:
+                source = _unordered_source(generator.iter)
+                if source is not None:
+                    yield self.finding(
+                        node,
+                        ctx,
+                        f"list comprehension iterates {source} in hash "
+                        "order; sort the iterable",
+                    )
+
+    def _visit_call(
+        self, node: ast.Call, ctx: ModuleContext
+    ) -> Iterator[Finding]:
+        func = node.func
+        consumer: Optional[str] = None
+        if isinstance(func, ast.Name) and func.id in ("list", "tuple"):
+            consumer = f"{func.id}()"
+        elif isinstance(func, ast.Attribute) and func.attr == "join":
+            consumer = "str.join()"
+        if consumer is None or len(node.args) != 1:
+            return
+        source = _unordered_source(node.args[0])
+        if source is not None:
+            yield self.finding(
+                node,
+                ctx,
+                f"{consumer} over {source} materialises hash order; "
+                "wrap the iterable in sorted()",
+            )
+
+
+class SilentExceptRule(Rule):
+    """ERR001: broad exception handlers must not silently swallow.
+
+    A bare ``except:`` (or ``except Exception:``) whose body is only
+    ``pass``/``continue`` turns data loss into silence — exactly how SOA
+    parse failures used to vanish from the centralization analysis.
+    Narrow the exception type and count or log what was skipped.
+    """
+
+    rule_id = "ERR001"
+    description = "bare/broad except that only passes or continues"
+    severity = Severity.ERROR
+    interests = (ast.ExceptHandler,)
+
+    _BROAD = frozenset({"Exception", "BaseException"})
+
+    def _is_broad(self, handler: ast.ExceptHandler, ctx: ModuleContext) -> bool:
+        if handler.type is None:
+            return True
+        if isinstance(handler.type, ast.Tuple):
+            return any(
+                ctx.dotted_name(element) in self._BROAD
+                for element in handler.type.elts
+            )
+        return ctx.dotted_name(handler.type) in self._BROAD
+
+    @staticmethod
+    def _is_silent(body: List[ast.stmt]) -> bool:
+        for statement in body:
+            if isinstance(statement, (ast.Pass, ast.Continue)):
+                continue
+            if (
+                isinstance(statement, ast.Expr)
+                and isinstance(statement.value, ast.Constant)
+                and statement.value.value is Ellipsis
+            ):
+                continue
+            return False
+        return True
+
+    def visit(self, node: ast.AST, ctx: ModuleContext) -> Iterator[Finding]:
+        assert isinstance(node, ast.ExceptHandler)
+        if self._is_broad(node, ctx) and self._is_silent(node.body):
+            label = (
+                "bare except"
+                if node.type is None
+                else f"except {ctx.dotted_name(node.type) or '...'}"
+            )
+            yield self.finding(
+                node,
+                ctx,
+                f"{label} silently swallows errors; narrow the exception "
+                "type and count/report the skipped item",
+            )
+
+
+_DOMAIN_LITERAL = re.compile(
+    r"^(?:[a-z0-9_](?:[a-z0-9_-]*[a-z0-9_])?\.)+[a-z]{2,}\.?$",
+    re.IGNORECASE,
+)
+
+_DNS_TOKENS = frozenset(
+    {
+        "domain",
+        "domains",
+        "qname",
+        "mname",
+        "rname",
+        "nsdname",
+        "hostname",
+        "hostnames",
+        "fqdn",
+        "dns",
+        "zone",
+        "zones",
+        "suffix",
+        "suffixes",
+        "ns",
+        "nameserver",
+        "nameservers",
+        "apex",
+        "origin",
+    }
+)
+
+
+def _is_dns_flavoured(expr: ast.expr, ctx: ModuleContext) -> bool:
+    """Does this operand smell like it holds a DNS name?"""
+    if isinstance(expr, ast.Call):
+        func = expr.func
+        if isinstance(func, ast.Name) and func.id == "str":
+            return True
+        return False
+    dotted = ctx.dotted_name(expr)
+    if dotted is None:
+        return False
+    tokens = {token for part in dotted.lower().split(".") for token in part.split("_")}
+    return bool(tokens & _DNS_TOKENS)
+
+
+class StringDnsComparisonRule(Rule):
+    """DNS001: compare ``DnsName`` values, not raw strings.
+
+    DNS names are case-insensitive (RFC 1034 §3.1) and may carry a
+    trailing dot; ``ns1.Gov.AU`` == ``ns1.gov.au.`` as names but not as
+    strings.  Every component of this reproduction normalises on
+    ``DnsName`` construction — string comparison bypasses that.
+    """
+
+    rule_id = "DNS001"
+    description = (
+        "raw ==/in comparison against a DNS-name literal; use DnsName"
+    )
+    severity = Severity.WARNING
+    interests = (ast.Compare,)
+
+    _OPS = (ast.Eq, ast.NotEq, ast.In, ast.NotIn)
+
+    def visit(self, node: ast.AST, ctx: ModuleContext) -> Iterator[Finding]:
+        assert isinstance(node, ast.Compare)
+        if not all(isinstance(op, self._OPS) for op in node.ops):
+            return
+        operands: List[ast.expr] = [node.left, *node.comparators]
+        literal: Optional[str] = None
+        for operand in operands:
+            if (
+                isinstance(operand, ast.Constant)
+                and isinstance(operand.value, str)
+                and _DOMAIN_LITERAL.match(operand.value)
+            ):
+                literal = operand.value
+                break
+        if literal is None:
+            return
+        if any(_is_dns_flavoured(operand, ctx) for operand in operands):
+            yield self.finding(
+                node,
+                ctx,
+                f"string comparison against {literal!r} ignores DNS "
+                "case-insensitivity; compare "
+                f"DnsName.parse({literal!r}) values instead",
+            )
+
+
+class MissingTimeoutRetryRule(Rule):
+    """RES001: query policy must be explicit at resolver/network edges.
+
+    The paper's §III-B semantics (3 s timeout, one retransmission, a
+    next-day retry round) are load-bearing for every defectiveness
+    number; a ``Resolver`` built with defaults hides that policy.
+    """
+
+    rule_id = "RES001"
+    description = (
+        "Resolver/Network.query call site without explicit "
+        "timeout/retry arguments"
+    )
+    severity = Severity.ERROR
+    interests = (ast.Call,)
+
+    @staticmethod
+    def _has_double_star(node: ast.Call) -> bool:
+        return any(keyword.arg is None for keyword in node.keywords)
+
+    def visit(self, node: ast.AST, ctx: ModuleContext) -> Iterator[Finding]:
+        assert isinstance(node, ast.Call)
+        if self._has_double_star(node):
+            return
+        dotted = ctx.dotted_name(node.func)
+        if dotted is None:
+            return
+        keyword_names = {kw.arg for kw in node.keywords}
+        last = dotted.rpartition(".")[2]
+        if last == "Resolver":
+            missing = {"timeout", "retries"} - keyword_names
+            if missing:
+                wanted = ", ".join(sorted(missing))
+                yield self.finding(
+                    node,
+                    ctx,
+                    f"Resolver(...) without explicit {wanted}; the paper's "
+                    "§III-B query policy must be stated at construction",
+                )
+        elif last == "query" and "network" in dotted.lower():
+            if "timeout" not in keyword_names:
+                yield self.finding(
+                    node,
+                    ctx,
+                    "network query without an explicit timeout= argument; "
+                    "silent defaults hide the probe's timeout policy",
+                )
+
+
+ALL_RULES: Tuple[Type[Rule], ...] = (
+    WallClockRule,
+    GlobalRandomRule,
+    UnsortedSetIterationRule,
+    SilentExceptRule,
+    StringDnsComparisonRule,
+    MissingTimeoutRetryRule,
+)

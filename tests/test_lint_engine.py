@@ -1,0 +1,215 @@
+"""Engine-level tests: baseline ratchet, CLI exit codes, JSON/SARIF."""
+
+from __future__ import annotations
+
+import io
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.lint import ALL_RULES, Baseline, LintEngine
+from repro.lint.cli import main as lint_main
+
+# One violation of each shipped rule, one file per rule.
+VIOLATIONS = {
+    "det001.py": "import time\n\nSTAMP = time.time()\n",
+    "det002.py": "import random\n\nVALUE = random.random()\n",
+    "det003.py": "ORDER = list(set([3, 1, 2]))\n",
+    "err001.py": (
+        "try:\n    RESULT = 1\nexcept Exception:\n    pass\n"
+    ),
+    "dns001.py": 'MATCH = domain == "ns1.example.com"\n',
+    "res001.py": "CLIENT = Resolver(network, roots)\n",
+}
+
+
+@pytest.fixture
+def violation_tree(tmp_path: Path) -> Path:
+    tree = tmp_path / "badsrc"
+    tree.mkdir()
+    for name, source in VIOLATIONS.items():
+        (tree / name).write_text(source, encoding="utf-8")
+    return tree
+
+
+def run_cli(*argv: str) -> tuple[int, str]:
+    out = io.StringIO()
+    status = lint_main(list(argv), out=out)
+    return status, out.getvalue()
+
+
+class TestFixtureTree:
+    def test_each_rule_fires_exactly_once(self, violation_tree: Path):
+        findings = LintEngine().lint_paths([violation_tree])
+        fired = sorted(finding.rule_id for finding in findings)
+        assert fired == sorted(rule.rule_id for rule in ALL_RULES)
+
+    def test_cli_exits_nonzero_on_violations(self, violation_tree: Path):
+        status, text = run_cli(str(violation_tree), "--no-baseline")
+        assert status == 1
+        assert f"{len(VIOLATIONS)} new finding(s)" in text
+
+    def test_clean_tree_exits_zero(self, tmp_path: Path):
+        (tmp_path / "ok.py").write_text("VALUE = 1\n", encoding="utf-8")
+        status, text = run_cli(str(tmp_path), "--no-baseline")
+        assert status == 0
+        assert "0 new finding(s)" in text
+
+
+class TestBaselineRatchet:
+    def test_baselined_findings_do_not_fail(self, violation_tree, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        status, _ = run_cli(
+            str(violation_tree), "--baseline", str(baseline), "--write-baseline"
+        )
+        assert status == 0
+        status, text = run_cli(
+            str(violation_tree), "--baseline", str(baseline)
+        )
+        assert status == 0
+        assert f"{len(VIOLATIONS)} baselined" in text
+
+    def test_new_finding_fails_despite_baseline(self, violation_tree, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        run_cli(
+            str(violation_tree), "--baseline", str(baseline), "--write-baseline"
+        )
+        (violation_tree / "fresh.py").write_text(
+            "import time\nNOW = time.time()\n", encoding="utf-8"
+        )
+        status, text = run_cli(
+            str(violation_tree), "--baseline", str(baseline)
+        )
+        assert status == 1
+        assert "1 new finding(s)" in text
+
+    def test_fixed_finding_reports_stale_entry(self, violation_tree, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        run_cli(
+            str(violation_tree), "--baseline", str(baseline), "--write-baseline"
+        )
+        (violation_tree / "det001.py").write_text("STAMP = 0.0\n", encoding="utf-8")
+        status, text = run_cli(
+            str(violation_tree), "--baseline", str(baseline)
+        )
+        assert status == 0
+        assert "stale baseline entry" in text
+        assert "1 stale" in text
+
+    def test_fingerprint_survives_line_drift(self, violation_tree, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        run_cli(
+            str(violation_tree), "--baseline", str(baseline), "--write-baseline"
+        )
+        original = (violation_tree / "det001.py").read_text(encoding="utf-8")
+        (violation_tree / "det001.py").write_text(
+            "# a new leading comment\n" + original, encoding="utf-8"
+        )
+        status, _ = run_cli(str(violation_tree), "--baseline", str(baseline))
+        assert status == 0
+
+    def test_malformed_baseline_is_a_usage_error(self, violation_tree, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text("[]", encoding="utf-8")
+        status, text = run_cli(str(violation_tree), "--baseline", str(baseline))
+        assert status == 2
+        assert "malformed baseline" in text
+
+    def test_match_partitions_multiset(self):
+        engine = LintEngine()
+        findings = engine.lint_source(
+            "import time\na = time.time()\nb = time.time()\n", "m.py"
+        )
+        assert len(findings) == 2
+        baseline = Baseline.from_findings(findings[:1])
+        match = baseline.match(findings)
+        assert len(match.baselined) == 1
+        assert len(match.new) == 1
+        assert match.stale == []
+
+
+class TestReporters:
+    def test_json_schema(self, violation_tree: Path):
+        status, text = run_cli(
+            str(violation_tree), "--no-baseline", "--format", "json"
+        )
+        assert status == 1
+        payload = json.loads(text)
+        assert payload["summary"]["new"] == len(VIOLATIONS)
+        assert payload["summary"]["baselined"] == 0
+        first = payload["findings"][0]
+        assert set(first) == {
+            "rule",
+            "severity",
+            "path",
+            "line",
+            "column",
+            "message",
+            "snippet",
+            "baselined",
+        }
+
+    def test_sarif_smoke(self, violation_tree: Path):
+        status, text = run_cli(
+            str(violation_tree), "--no-baseline", "--format", "sarif"
+        )
+        assert status == 1
+        document = json.loads(text)
+        assert document["version"] == "2.1.0"
+        assert "sarif-schema-2.1.0" in document["$schema"]
+        (run,) = document["runs"]
+        driver = run["tool"]["driver"]
+        assert driver["name"] == "reprolint"
+        assert {r["id"] for r in driver["rules"]} == {
+            rule.rule_id for rule in ALL_RULES
+        }
+        assert len(run["results"]) == len(VIOLATIONS)
+        result = run["results"][0]
+        assert result["baselineState"] == "new"
+        location = result["locations"][0]["physicalLocation"]
+        assert location["region"]["startLine"] >= 1
+        assert location["artifactLocation"]["uri"]
+
+    def test_sarif_marks_baselined_unchanged(self, violation_tree, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        run_cli(
+            str(violation_tree), "--baseline", str(baseline), "--write-baseline"
+        )
+        status, text = run_cli(
+            str(violation_tree),
+            "--baseline",
+            str(baseline),
+            "--format",
+            "sarif",
+        )
+        assert status == 0
+        document = json.loads(text)
+        states = {
+            result["baselineState"]
+            for result in document["runs"][0]["results"]
+        }
+        assert states == {"unchanged"}
+
+
+class TestCliPlumbing:
+    def test_list_rules(self):
+        status, text = run_cli("--list-rules")
+        assert status == 0
+        for rule in ALL_RULES:
+            assert rule.rule_id in text
+
+    def test_missing_path_is_usage_error(self, tmp_path: Path):
+        status, text = run_cli(str(tmp_path / "nope"))
+        assert status == 2
+        assert "no such path" in text
+
+    def test_repro_cli_lint_subcommand(self, violation_tree: Path):
+        from repro.cli import main as repro_main
+
+        out = io.StringIO()
+        status = repro_main(
+            ["lint", str(violation_tree), "--no-baseline"], out=out
+        )
+        assert status == 1
+        assert "new finding(s)" in out.getvalue()

@@ -1,0 +1,42 @@
+"""The ratchet applied to this repository itself.
+
+``src/`` must stay free of non-baselined reprolint findings; the
+committed baseline is the only sanctioned escape hatch and must not
+rot (no stale entries).
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+
+from repro.lint import Baseline, LintEngine
+from repro.lint.cli import main as lint_main
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+SRC = REPO_ROOT / "src"
+BASELINE = REPO_ROOT / "reprolint-baseline.json"
+
+
+def test_src_tree_has_no_new_findings():
+    findings = LintEngine().lint_paths([SRC], root=REPO_ROOT)
+    match = Baseline.load(BASELINE).match(findings)
+    rendered = "\n".join(finding.render() for finding in match.new)
+    assert not match.new, f"non-baselined reprolint findings:\n{rendered}"
+
+
+def test_baseline_has_no_stale_entries():
+    findings = LintEngine().lint_paths([SRC], root=REPO_ROOT)
+    match = Baseline.load(BASELINE).match(findings)
+    assert not match.stale, (
+        "baseline entries no longer fire; regenerate with "
+        f"python -m repro.lint src/ --write-baseline: {match.stale}"
+    )
+
+
+def test_cli_exits_zero_on_src():
+    out = io.StringIO()
+    status = lint_main(
+        [str(SRC), "--baseline", str(BASELINE)], out=out
+    )
+    assert status == 0, out.getvalue()
