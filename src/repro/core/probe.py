@@ -18,19 +18,58 @@ For each target domain ``d``:
 A **second round** re-queries domains whose parent listed nameservers
 but none answered, shortly after the first (paper §III-B), to absorb
 transient failures.
+
+Scale architecture
+------------------
+
+The paper swept ~147k domains; issuing those queries one blocking
+exchange at a time makes the campaign's simulated duration the *sum* of
+every round-trip and timeout.  This module instead runs each domain's
+pipeline as a cooperatively-scheduled task over the network's
+discrete-event scheduler (:mod:`repro.net.events`):
+
+* Up to ``ProbeConfig.max_in_flight`` query series are outstanding at
+  once, across domains (overlapping referral walks) and within each
+  per-IP sweep, so concurrent waits overlap in virtual time — campaign
+  time approaches the max of the overlapping waits, not their sum.
+* Issue order is deterministic: tasks are admitted in sorted-domain
+  order, resumed in event order, and scanned oldest-first for the next
+  issuable query.  The :class:`~repro.core.ethics.RateLimiter` is
+  charged per series at issue, and per-destination politeness never
+  allows two in-flight exchanges to the same address.
+* ``max_in_flight=1`` degenerates to running each task to completion
+  before the next starts, reproducing the historical strictly-serial
+  prober exchange-for-exchange (same RNG draw order, same dataset).
+* A shared :class:`~repro.dns.cache.ZoneCutCache` remembers every
+  referral seen, so walks start at the deepest cached cut instead of
+  re-descending from the root for all 147k targets.  The cache is
+  advisory: the referral naming the domain itself — the measurement —
+  is always fetched from the wire.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Tuple
+from collections import deque
+from typing import (
+    Any,
+    Callable,
+    Deque,
+    Dict,
+    Generator,
+    Iterable,
+    List,
+    Optional,
+    Set,
+    Tuple,
+)
 
-from ..dns.cache import ResolverCache
-from ..dns.message import Message, Rcode
-from ..dns.name import DnsName, ROOT
-from ..dns.rdata import NS, RRType, A
+from ..dns.cache import ResolverCache, ZoneCutCache
+from ..dns.message import Message, Rcode, make_query
+from ..dns.name import DnsName
+from ..dns.rdata import RRType, A
 from ..dns.resolver import Resolver
 from ..net.address import IPv4Address
-from ..net.clock import SimulatedClock
+from ..net.events import PendingExchange
 from ..net.network import Network
 from .dataset import (
     MeasurementDataset,
@@ -45,6 +84,12 @@ __all__ = ["ActiveProber", "ProbeConfig"]
 
 _MAX_WALK = 16
 
+# Task protocol: a probe task is a generator that yields requests to the
+# campaign driver and is resumed with the request's result.
+#   ("query", address)                   -> resumed with Optional[Message]
+#   ("sweep", result, hostnames, glue)   -> resumed with None when drained
+_ProbeTask = Generator[Tuple[Any, ...], Any, Any]
+
 
 class ProbeConfig:
     """Tunables for the campaign."""
@@ -56,14 +101,294 @@ class ProbeConfig:
         retry_round: bool = True,
         retry_interval_days: float = 1.0,
         rate_limit_qps: Optional[float] = 500.0,
+        max_in_flight: int = 64,
+        zone_cut_caching: bool = True,
     ) -> None:
         if timeout <= 0:
             raise ValueError("timeout must be positive")
+        if max_in_flight < 1:
+            raise ValueError("max_in_flight must be at least 1")
         self.timeout = timeout
         self.retries = retries
         self.retry_round = retry_round
         self.retry_interval_days = retry_interval_days
         self.rate_limit_qps = rate_limit_qps
+        self.max_in_flight = max_in_flight
+        self.zone_cut_caching = zone_cut_caching
+
+
+class _SweepBatch:
+    """A per-IP sweep in progress: the lazy cursor over (hostname,
+    address) pairs still to be queried, plus the in-flight count.
+
+    Hostnames are resolved on admission (exactly when the serial code
+    would have resolved them), and the needs-a-query check runs at
+    issue time, so a batch driven with one slot reproduces the serial
+    sweep operation-for-operation.
+    """
+
+    __slots__ = ("result", "work", "glue", "current", "outstanding", "exhausted")
+
+    def __init__(
+        self,
+        result: ProbeResult,
+        hostnames: Iterable[DnsName],
+        glue: Dict[DnsName, Tuple[IPv4Address, ...]],
+    ) -> None:
+        self.result = result
+        self.work: Deque[DnsName] = deque(hostnames)
+        self.glue = glue
+        self.current: Deque[Tuple[ServerProbe, IPv4Address]] = deque()
+        self.outstanding = 0
+        self.exhausted = False
+
+
+class _Task:
+    """One admitted probe task and its driver-side bookkeeping."""
+
+    __slots__ = ("index", "gen", "message", "queries", "pending_addr", "batch")
+
+    def __init__(self, index: int, gen: _ProbeTask, message: Message) -> None:
+        self.index = index
+        self.gen = gen
+        self.message = message
+        self.queries = 0
+        self.pending_addr: Optional[IPv4Address] = None
+        self.batch: Optional[_SweepBatch] = None
+
+
+class _CampaignDriver:
+    """Drives probe tasks over the event scheduler.
+
+    One driver instance runs one fleet of tasks to completion.  Its
+    loop enforces a strict priority — resume ready tasks, then issue
+    the next query from the oldest issuable source, then admit a new
+    task, then fire the next event — which makes the interleaving a
+    pure function of the task list and the seed.
+    """
+
+    def __init__(self, prober: "ActiveProber") -> None:
+        self._prober = prober
+        self._window = prober.config.max_in_flight
+        self._network = prober._network
+        self._scheduler = prober._network.events
+        self._attempts = 1 + prober.config.retries
+        self._timeout = prober.config.timeout
+        self._busy: Set[IPv4Address] = set()
+        self._ready: Deque[Tuple[_Task, Any]] = deque()
+        self._active: List[_Task] = []
+        # Tasks with a parked request or live sweep batch that may be
+        # able to issue right now, in park/wake order.
+        self._issuable: Deque[_Task] = deque()
+        # Tasks whose next destination is busy, indexed by that
+        # address; woken (re-queued issuable) when it frees.  Busy-set
+        # transitions happen only at issue and completion, so no other
+        # event can unblock a stalled task.
+        self._stalled: Dict[IPv4Address, List[_Task]] = {}
+        self._in_flight = 0
+        self._finished: Dict[int, Any] = {}
+
+    # ------------------------------------------------------------------
+    def run(
+        self, tasks: Iterable[Tuple[_ProbeTask, Message]]
+    ) -> List[Tuple[Any, int]]:
+        """Run every task to completion; returns ``(result, queries)``
+        pairs in admission order."""
+        admissions: Deque[Tuple[int, _ProbeTask, Message]] = deque(
+            (index, gen, message)
+            for index, (gen, message) in enumerate(tasks)
+        )
+        total = len(admissions)
+        while True:
+            if self._ready:
+                task, value = self._ready.popleft()
+                self._step(task, value)
+                continue
+            if self._in_flight < self._window and self._try_issue():
+                continue
+            if (
+                self._in_flight < self._window
+                and len(self._active) < self._window
+                and admissions
+            ):
+                index, gen, message = admissions.popleft()
+                task = _Task(index, gen, message)
+                self._active.append(task)
+                self._step(task, None)
+                continue
+            if self._in_flight > 0:
+                self._scheduler.run_next()
+                continue
+            break
+        assert len(self._finished) == total and not self._active
+        return [self._finished[index] for index in range(total)]
+
+    # ------------------------------------------------------------------
+    def _step(self, task: _Task, value: Any) -> None:
+        """Advance a task's generator until it parks on a request."""
+        try:
+            request = task.gen.send(value)
+        except StopIteration as stop:
+            self._finished[task.index] = (stop.value, task.queries)
+            self._active.remove(task)
+            return
+        if request[0] == "query":
+            task.pending_addr = request[1]
+        else:
+            task.batch = _SweepBatch(request[1], request[2], request[3])
+        self._issuable.append(task)
+
+    def _try_issue(self) -> bool:
+        """Issue one query from the oldest wakeable source.
+
+        A source whose next destination already has an exchange in
+        flight parks on that address (per-destination politeness) and
+        is re-queued when it frees; a drained sweep batch resumes its
+        task.
+        """
+        issuable = self._issuable
+        while issuable:
+            task = issuable.popleft()
+            if task.pending_addr is not None:
+                address = task.pending_addr
+                if address in self._busy:
+                    self._stalled.setdefault(address, []).append(task)
+                    continue
+                task.pending_addr = None
+                self._issue_walk(task, address)
+                return True
+            batch = task.batch
+            if batch is None:
+                # The batch's last in-flight query completed it while
+                # the task sat queued; the completion already resumed
+                # it.
+                continue
+            unit = self._next_sweep_unit(batch)
+            if unit[0] == "issue":
+                # Stay at the queue head: the batch keeps issuing until
+                # it stalls or drains.
+                issuable.appendleft(task)
+                self._issue_sweep(task, batch, unit[1], unit[2])
+                return True
+            if unit[0] == "stall":
+                self._stalled.setdefault(unit[1], []).append(task)
+                continue
+            if batch.outstanding == 0:
+                task.batch = None
+                self._ready.append((task, None))
+                return True
+            # Exhausted with queries still in flight: the last
+            # completion will resume the task.
+        return False
+
+    def _wake_stalled(self, address: IPv4Address) -> None:
+        waiting = self._stalled.pop(address, None)
+        if waiting:
+            self._issuable.extend(waiting)
+
+    def _next_sweep_unit(self, batch: _SweepBatch) -> Tuple[Any, ...]:
+        """Advance the batch cursor: ``("issue", probe, address)``,
+        ``("stall", address)``, or ``("done",)``.  Hostnames resolve on
+        admission, exactly when the serial sweep would resolve them."""
+        prober = self._prober
+        while True:
+            if batch.current:
+                probe, address = batch.current[0]
+                existing = probe.outcomes.get(address)
+                if existing is not None and existing != ServerOutcome.TIMEOUT:
+                    batch.current.popleft()
+                    continue
+                if address in self._busy:
+                    return "stall", address
+                batch.current.popleft()
+                return "issue", probe, address
+            if not batch.work:
+                batch.exhausted = True
+                return ("done",)
+            hostname = batch.work.popleft()
+            probe = batch.result.servers.get(hostname)
+            if probe is None:
+                resolvable, addresses = prober._resolve_ns_addresses(
+                    hostname, batch.glue
+                )
+                probe = ServerProbe(
+                    hostname=hostname,
+                    resolvable=resolvable,
+                    addresses=addresses,
+                )
+                batch.result.servers[hostname] = probe
+            for address in probe.addresses:
+                batch.current.append((probe, address))
+
+    # ------------------------------------------------------------------
+    def _issue_series(
+        self,
+        task: _Task,
+        address: IPv4Address,
+        on_final: Callable[[Optional[Message]], None],
+    ) -> None:
+        """Issue one query series (first attempt plus retransmissions)
+        and call ``on_final`` with the eventual response (or None)."""
+        prober = self._prober
+        if prober._limiter is not None:
+            prober._limiter.acquire()
+        prober.queries_sent += 1
+        task.queries += 1
+        self._in_flight += 1
+        self._busy.add(address)
+        attempts_left = [self._attempts]
+
+        def callback(exchange: PendingExchange) -> None:
+            attempts_left[0] -= 1
+            if exchange.response is None and attempts_left[0] > 0:
+                # Retransmit at the timeout instant, reusing the
+                # already-built query message.
+                self._network.send(
+                    address,
+                    task.message,
+                    source=prober._source,
+                    timeout=self._timeout,
+                    on_complete=callback,
+                )
+                return
+            self._in_flight -= 1
+            self._busy.discard(address)
+            self._wake_stalled(address)
+            on_final(exchange.response)
+
+        self._network.send(
+            address,
+            task.message,
+            source=prober._source,
+            timeout=self._timeout,
+            on_complete=callback,
+        )
+
+    def _issue_walk(self, task: _Task, address: IPv4Address) -> None:
+        def on_final(response: Optional[Message]) -> None:
+            self._ready.append((task, response))
+
+        self._issue_series(task, address, on_final)
+
+    def _issue_sweep(
+        self,
+        task: _Task,
+        batch: _SweepBatch,
+        probe: ServerProbe,
+        address: IPv4Address,
+    ) -> None:
+        batch.outstanding += 1
+
+        def on_final(response: Optional[Message]) -> None:
+            batch.outstanding -= 1
+            self._prober._record_sweep_outcome(
+                probe, address, batch.result.domain, response
+            )
+            if batch.exhausted and batch.outstanding == 0 and task.batch is batch:
+                task.batch = None
+                self._ready.append((task, None))
+
+        self._issue_series(task, address, on_final)
 
 
 class ActiveProber:
@@ -79,7 +404,13 @@ class ActiveProber:
         self.config = config if config is not None else ProbeConfig()
         self._network = network
         self._clock = network.clock
+        self._source = source
         self._cache = ResolverCache(self._clock)
+        self._zone_cuts = (
+            ZoneCutCache(self._clock)
+            if self.config.zone_cut_caching
+            else None
+        )
         self._resolver = Resolver(
             network,
             list(root_addresses),
@@ -87,6 +418,7 @@ class ActiveProber:
             source=source,
             timeout=self.config.timeout,
             retries=self.config.retries,
+            zone_cuts=self._zone_cuts,
         )
         self._limiter = (
             RateLimiter(self._clock, queries_per_second=self.config.rate_limit_qps)
@@ -95,30 +427,50 @@ class ActiveProber:
         )
         self.queries_sent = 0
 
-    # ------------------------------------------------------------------
-    # Low-level query with ethics accounting
-    # ------------------------------------------------------------------
-    def _query(
-        self, address: IPv4Address, qname: DnsName, qtype: str
-    ) -> Optional[Message]:
-        if self._limiter is not None:
-            self._limiter.acquire()
-        self.queries_sent += 1
-        return self._resolver.query_at(address, qname, qtype)
+    @property
+    def zone_cuts(self) -> Optional[ZoneCutCache]:
+        """The shared delegation cache (None when disabled)."""
+        return self._zone_cuts
 
     # ------------------------------------------------------------------
     # Step 1/2: locate the parent's nameservers, get the referral
     # ------------------------------------------------------------------
-    def _walk_to_parent(
-        self, domain: DnsName
-    ) -> Tuple[str, Tuple[DnsName, ...], Dict[DnsName, Tuple[IPv4Address, ...]]]:
-        """Walk referrals from the root until the parent zone answers
-        for ``domain``.
+    def _walk_to_parent_task(self, domain: DnsName) -> _ProbeTask:
+        """Walk referrals until the parent zone answers for ``domain``.
 
-        Returns (parent_status, P hostnames, glue map).
+        Starts from the deepest cached zone cut when one is known.  A
+        cached cut is trusted for its TTL even when its servers stay
+        silent — re-walking from the root would reach the same
+        delegation (and hammer the same dead servers, which §III-D's
+        politeness forbids); the one exception is a cut that yields no
+        queryable address at all, which falls back to a cold walk.
         """
-        candidates: List[IPv4Address] = list(self._resolver._roots)
-        glueless: List[DnsName] = []
+        if self._zone_cuts is not None:
+            cut = self._zone_cuts.deepest_enclosing(domain)
+            if cut is not None:
+                outcome = yield from self._walk_from_task(
+                    list(cut.addresses()), list(cut.glueless()), domain
+                )
+                status, hostnames, glue, issued = outcome
+                if status != ParentStatus.NO_RESPONSE or issued > 0:
+                    return status, hostnames, glue
+                self._zone_cuts.invalidate(cut.name)
+        outcome = yield from self._walk_from_task(
+            list(self._resolver.roots), [], domain
+        )
+        return outcome[0], outcome[1], outcome[2]
+
+    def _walk_from_task(
+        self,
+        candidates: List[IPv4Address],
+        glueless: List[DnsName],
+        domain: DnsName,
+    ) -> Generator[
+        Tuple[Any, ...],
+        Any,
+        Tuple[str, Tuple[DnsName, ...], Dict[DnsName, Tuple[IPv4Address, ...]], int],
+    ]:
+        issued = 0
         for _ in range(_MAX_WALK):
             response = None
             queue = list(candidates)
@@ -129,7 +481,8 @@ class ActiveProber:
                     queue.extend(self._resolver.resolve_address(hostname))
                     continue
                 address = queue.pop(0)
-                reply = self._query(address, domain, RRType.NS)
+                issued += 1
+                reply = yield ("query", address)
                 if reply is None:
                     continue
                 if reply.rcode in (Rcode.REFUSED, Rcode.SERVFAIL):
@@ -139,7 +492,7 @@ class ActiveProber:
                 response = reply
                 break
             if response is None:
-                return ParentStatus.NO_RESPONSE, (), {}
+                return ParentStatus.NO_RESPONSE, (), {}, issued
 
             if response.is_referral:
                 target = response.referral_target
@@ -151,17 +504,21 @@ class ActiveProber:
                     for rdata in delegation.rdatas
                 )
                 glue: Dict[DnsName, Tuple[IPv4Address, ...]] = {}
+                ttl = delegation.ttl
                 for hostname in hostnames:
                     addresses = []
                     for glue_set in response.glue_for(hostname):
+                        ttl = min(ttl, glue_set.ttl)
                         for rdata in glue_set.rdatas:
                             assert isinstance(rdata, A)
                             addresses.append(rdata.address)
                     if addresses:
                         glue[hostname] = tuple(addresses)
+                if self._zone_cuts is not None:
+                    self._zone_cuts.put(target, hostnames, glue, ttl)
                 if target == domain:
                     # The parent's answer about our domain: this is P.
-                    return ParentStatus.REFERRAL, hostnames, glue
+                    return ParentStatus.REFERRAL, hostnames, glue, issued
                 # An intermediate cut: descend.
                 candidates = [a for addrs in glue.values() for a in addrs]
                 glueless = [h for h in hostnames if h not in glue]
@@ -177,11 +534,11 @@ class ActiveProber:
                         rdata.nsdname  # type: ignore[union-attr]
                         for rdata in answer.rdatas
                     )
-                    return ParentStatus.ANSWER, hostnames, {}
-                return ParentStatus.EMPTY, (), {}
+                    return ParentStatus.ANSWER, hostnames, {}, issued
+                return ParentStatus.EMPTY, (), {}, issued
 
-            return ParentStatus.NO_RESPONSE, (), {}
-        return ParentStatus.NO_RESPONSE, (), {}
+            return ParentStatus.NO_RESPONSE, (), {}, issued
+        return ParentStatus.NO_RESPONSE, (), {}, issued
 
     # ------------------------------------------------------------------
     # Steps 3-4: child view and per-address sweep
@@ -218,38 +575,22 @@ class ActiveProber:
             return ServerOutcome.NODATA
         return ServerOutcome.LAME
 
-    def _sweep(
+    def _record_sweep_outcome(
         self,
-        result: ProbeResult,
-        hostnames: Iterable[DnsName],
-        glue: Dict[DnsName, Tuple[IPv4Address, ...]],
+        probe: ServerProbe,
+        address: IPv4Address,
+        domain: DnsName,
+        response: Optional[Message],
     ) -> None:
-        """Query every address of every hostname for the domain's NS."""
-        for hostname in hostnames:
-            probe = result.servers.get(hostname)
-            if probe is None:
-                resolvable, addresses = self._resolve_ns_addresses(hostname, glue)
-                probe = ServerProbe(
-                    hostname=hostname,
-                    resolvable=resolvable,
-                    addresses=addresses,
-                )
-                result.servers[hostname] = probe
-            for address in probe.addresses:
-                if address in probe.outcomes and probe.outcomes[
-                    address
-                ] not in (ServerOutcome.TIMEOUT,):
-                    continue
-                response = self._query(address, result.domain, RRType.NS)
-                outcome = self._classify(response, result.domain)
-                probe.outcomes[address] = outcome
-                if outcome == ServerOutcome.ANSWER:
-                    answer = response.answer_rrset(RRType.NS)  # type: ignore[union-attr]
-                    assert answer is not None
-                    probe.ns_by_address[address] = tuple(
-                        rdata.nsdname  # type: ignore[union-attr]
-                        for rdata in answer.rdatas
-                    )
+        outcome = self._classify(response, domain)
+        probe.outcomes[address] = outcome
+        if outcome == ServerOutcome.ANSWER:
+            answer = response.answer_rrset(RRType.NS)  # type: ignore[union-attr]
+            assert answer is not None
+            probe.ns_by_address[address] = tuple(
+                rdata.nsdname  # type: ignore[union-attr]
+                for rdata in answer.rdatas
+            )
 
     def _collect_child_view(self, result: ProbeResult) -> None:
         """Union of NS sets returned authoritatively by the domain's own
@@ -262,11 +603,11 @@ class ActiveProber:
         result.child_ns = tuple(seen)
 
     # ------------------------------------------------------------------
-    # Per-domain pipeline
+    # Per-domain pipeline (one cooperatively-scheduled task)
     # ------------------------------------------------------------------
-    def probe_domain(self, domain: DnsName, iso2: str = "") -> ProbeResult:
-        before = self.queries_sent
-        parent_status, parent_ns, glue = self._walk_to_parent(domain)
+    def _domain_task(self, domain: DnsName, iso2: str) -> _ProbeTask:
+        walk = yield from self._walk_to_parent_task(domain)
+        parent_status, parent_ns, glue = walk
         result = ProbeResult(
             domain=domain,
             iso2=iso2,
@@ -274,15 +615,46 @@ class ActiveProber:
             parent_ns=parent_ns,
         )
         if parent_status in (ParentStatus.REFERRAL, ParentStatus.ANSWER):
-            self._sweep(result, parent_ns, glue)
+            yield ("sweep", result, parent_ns, glue)
             self._collect_child_view(result)
             new_hostnames = [
                 h for h in result.child_ns if h not in result.servers
             ]
             if new_hostnames:
-                self._sweep(result, new_hostnames, glue)
+                yield ("sweep", result, new_hostnames, glue)
                 self._collect_child_view(result)
-        result.queries_sent = self.queries_sent - before
+        return result
+
+    def _retry_task(self, result: ProbeResult) -> _ProbeTask:
+        for server in result.servers.values():
+            # Drop timeout verdicts so the sweep re-queries.
+            for address, outcome in list(server.outcomes.items()):
+                if outcome == ServerOutcome.TIMEOUT:
+                    del server.outcomes[address]
+            if not server.addresses:
+                # Round one cached an empty address set (e.g. a glueless
+                # NS whose zone was transiently dead).  Re-resolve so
+                # the server can recover in round two instead of being
+                # forever unresolvable.
+                resolvable, addresses = self._resolve_ns_addresses(
+                    server.hostname, {}
+                )
+                if addresses:
+                    server.resolvable = resolvable
+                    server.addresses = addresses
+        yield ("sweep", result, list(result.servers), {})
+        self._collect_child_view(result)
+        result.retried = True
+
+    # ------------------------------------------------------------------
+    # Campaign entry points
+    # ------------------------------------------------------------------
+    def probe_domain(self, domain: DnsName, iso2: str = "") -> ProbeResult:
+        driver = _CampaignDriver(self)
+        message = make_query(domain, RRType.NS)
+        probed = driver.run([(self._domain_task(domain, iso2), message)])
+        result: ProbeResult = probed[0][0]
+        result.queries_sent = probed[0][1]
         return result
 
     def probe_all(
@@ -295,9 +667,21 @@ class ActiveProber:
         whose parent listed nameservers but none answered, after a
         short simulated delay.
         """
+        order = sorted(targets)
+        driver = _CampaignDriver(self)
+        probed = driver.run(
+            [
+                (
+                    self._domain_task(domain, targets[domain]),
+                    make_query(domain, RRType.NS),
+                )
+                for domain in order
+            ]
+        )
         results: Dict[DnsName, ProbeResult] = {}
-        for domain in sorted(targets):
-            results[domain] = self.probe_domain(domain, targets[domain])
+        for domain, (result, queries) in zip(order, probed):
+            result.queries_sent = queries
+            results[domain] = result
 
         if self.config.retry_round:
             needs_retry = [
@@ -309,13 +693,14 @@ class ActiveProber:
                 self._clock.advance(
                     self.config.retry_interval_days * 86_400
                 )
-            for result in needs_retry:
-                for server in result.servers.values():
-                    # Drop timeout verdicts so the sweep re-queries.
-                    for address, outcome in list(server.outcomes.items()):
-                        if outcome == ServerOutcome.TIMEOUT:
-                            del server.outcomes[address]
-                self._sweep(result, list(result.servers), {})
-                self._collect_child_view(result)
-                result.retried = True
+                retry_driver = _CampaignDriver(self)
+                retry_driver.run(
+                    [
+                        (
+                            self._retry_task(result),
+                            make_query(result.domain, RRType.NS),
+                        )
+                        for result in needs_retry
+                    ]
+                )
         return MeasurementDataset(results)

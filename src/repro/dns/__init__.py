@@ -7,7 +7,7 @@ Internet exhibiting the same deployment pathologies the authors measured
 on the real one.
 """
 
-from .cache import MAX_RESOLVER_TTL, ResolverCache
+from .cache import MAX_RESOLVER_TTL, ResolverCache, ZoneCut, ZoneCutCache
 from .errors import (
     DnsError,
     NameError_,
@@ -29,6 +29,8 @@ from .zonefile import parse_name_token, parse_zone_file, serialize_zone
 __all__ = [
     "MAX_RESOLVER_TTL",
     "ResolverCache",
+    "ZoneCut",
+    "ZoneCutCache",
     "DnsError",
     "NameError_",
     "NoNameservers",

@@ -10,24 +10,29 @@ reasoning.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, Mapping, Optional, Tuple
 
+from ..net.address import IPv4Address
 from ..net.clock import SimulatedClock
 from .name import DnsName
 from .rrset import RRset
 
-__all__ = ["ResolverCache", "MAX_RESOLVER_TTL"]
+__all__ = ["ResolverCache", "ZoneCut", "ZoneCutCache", "MAX_RESOLVER_TTL"]
 
 # The largest default maximum TTL among the resolvers the paper surveys
 # (BIND, Unbound, MaraDNS, Windows DNS, Google Public DNS): 7 days.
 MAX_RESOLVER_TTL = 7 * 86_400
 
 
-@dataclass
 class _Entry:
-    rrset: Optional[RRset]  # None encodes a negative (NXDOMAIN/NODATA) entry
-    expires_at: float
+    """One cache slot (hot path: ``__slots__``, no dataclass machinery)."""
+
+    __slots__ = ("rrset", "expires_at")
+
+    def __init__(self, rrset: Optional[RRset], expires_at: float) -> None:
+        # None encodes a negative (NXDOMAIN/NODATA) entry.
+        self.rrset = rrset
+        self.expires_at = expires_at
 
 
 class ResolverCache:
@@ -97,3 +102,121 @@ class ResolverCache:
         for key in stale:
             del self._entries[key]
         return len(stale)
+
+
+class ZoneCut:
+    """One known delegation: a zone name, its NS set, and any glue."""
+
+    __slots__ = ("name", "hostnames", "glue", "expires_at")
+
+    def __init__(
+        self,
+        name: DnsName,
+        hostnames: Tuple[DnsName, ...],
+        glue: Mapping[DnsName, Tuple[IPv4Address, ...]],
+        expires_at: float,
+    ) -> None:
+        self.name = name
+        self.hostnames = hostnames
+        self.glue = dict(glue)
+        self.expires_at = expires_at
+
+    def addresses(self) -> Tuple[IPv4Address, ...]:
+        """All glued addresses, in NS-set order."""
+        found = []
+        for hostname in self.hostnames:
+            found.extend(self.glue.get(hostname, ()))
+        return tuple(found)
+
+    def glueless(self) -> Tuple[DnsName, ...]:
+        """NS hostnames with no glue (must be resolved before use)."""
+        return tuple(h for h in self.hostnames if h not in self.glue)
+
+
+class ZoneCutCache:
+    """Shared delegation cache: deepest-known enclosing cut per name.
+
+    The walk from the root to a domain's parent zone re-traverses the
+    same handful of government suffixes (``gov.au``, ``gov.br``, …) for
+    every one of ~147k targets.  Remembering each referral seen — the
+    cut's NS set plus glue, TTL-honoured against the simulated clock —
+    lets every later walk start at the deepest cached cut instead of
+    the root, the same delegation-caching trick that makes ZDNS-scale
+    measurement tractable.
+
+    The cache is *advisory*: callers use it only to pick a starting
+    point, never to skip the measurement query itself, so a warm cache
+    changes how many queries a walk costs but not what it observes.
+    If a cached cut turns out to be completely unreachable (the walk
+    from it could not issue a single query), callers invalidate the
+    entry and fall back to a cold walk from the root.
+    """
+
+    def __init__(
+        self,
+        clock: SimulatedClock,
+        max_ttl: int = MAX_RESOLVER_TTL,
+    ) -> None:
+        if max_ttl <= 0:
+            raise ValueError("TTLs must be positive")
+        self._clock = clock
+        self._max_ttl = max_ttl
+        self._cuts: Dict[DnsName, ZoneCut] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._cuts)
+
+    def put(
+        self,
+        name: DnsName,
+        hostnames: Tuple[DnsName, ...],
+        glue: Mapping[DnsName, Tuple[IPv4Address, ...]],
+        ttl: int,
+    ) -> None:
+        """Record a delegation observed in a referral."""
+        clamped = min(ttl, self._max_ttl)
+        self._cuts[name] = ZoneCut(
+            name=name,
+            hostnames=hostnames,
+            glue=glue,
+            expires_at=self._clock.now + clamped,
+        )
+
+    def get(self, name: DnsName) -> Optional[ZoneCut]:
+        """The live cut at exactly ``name``, or None (expiry-checked)."""
+        cut = self._cuts.get(name)
+        if cut is None:
+            return None
+        if cut.expires_at <= self._clock.now:
+            del self._cuts[name]
+            return None
+        return cut
+
+    def deepest_enclosing(self, name: DnsName) -> Optional[ZoneCut]:
+        """The deepest live cut *strictly above* ``name``.
+
+        Strictness is what keeps the cache advisory for the prober: a
+        walk for ``d`` may start at a cached ancestor cut, but the
+        referral naming ``d`` itself — the measurement — must still be
+        fetched from the wire.
+        """
+        if name.is_root:
+            return None
+        for ancestor in name.ancestors(include_self=False):
+            if ancestor.is_root:
+                break
+            cut = self.get(ancestor)
+            if cut is not None:
+                self.hits += 1
+                return cut
+        self.misses += 1
+        return None
+
+    def invalidate(self, name: DnsName) -> None:
+        """Drop a cut whose cached servers turned out to be dead."""
+        self._cuts.pop(name, None)
+
+    def flush(self) -> None:
+        self._cuts.clear()

@@ -19,7 +19,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..net.address import IPv4Address
 from ..net.network import Network, QueryTimeout
-from .cache import ResolverCache
+from .cache import ResolverCache, ZoneCutCache
 from .errors import NoNameservers, ResolutionLoop
 from .message import Message, Rcode, make_query
 from .name import DnsName, ROOT
@@ -89,6 +89,7 @@ class Resolver:
         source: Optional[IPv4Address] = None,
         timeout: float = 3.0,
         retries: int = 1,
+        zone_cuts: Optional[ZoneCutCache] = None,
     ) -> None:
         if not root_addresses:
             raise ValueError("at least one root hint is required")
@@ -98,6 +99,12 @@ class Resolver:
         self._source = source
         self._timeout = timeout
         self._retries = retries
+        self._zone_cuts = zone_cuts
+
+    @property
+    def roots(self) -> Tuple[IPv4Address, ...]:
+        """The configured root hints (the walk's starting candidates)."""
+        return self._roots
 
     # ------------------------------------------------------------------
     # Direct queries
@@ -174,8 +181,41 @@ class Resolver:
             if state == "negative":
                 return [], "nxdomain"
 
-        candidates: List[IPv4Address] = list(self._roots)
-        unresolved_ns: List[DnsName] = []
+        if self._zone_cuts is not None:
+            cut = self._zone_cuts.deepest_enclosing(qname)
+            if cut is not None:
+                # Start at the deepest cached delegation instead of the
+                # root; if its servers turn out to be dead or stale,
+                # fall back to a full cold walk so caching can never
+                # produce a failure the cold path would not.
+                try:
+                    return self._resolve_from(
+                        list(cut.addresses()),
+                        list(cut.glueless()),
+                        qname,
+                        qtype,
+                        trace,
+                        depth,
+                        cname_depth,
+                    )
+                except (NoNameservers, ResolutionLoop):
+                    self._zone_cuts.invalidate(cut.name)
+
+        return self._resolve_from(
+            list(self._roots), [], qname, qtype, trace, depth, cname_depth
+        )
+
+    def _resolve_from(
+        self,
+        candidates: List[IPv4Address],
+        unresolved_ns: List[DnsName],
+        qname: DnsName,
+        qtype: str,
+        trace: List[TraceStep],
+        depth: int,
+        cname_depth: int,
+    ) -> Tuple[List[RRset], str]:
+        """Follow referrals from the given starting servers."""
         answers: List[RRset] = []
 
         for _ in range(_MAX_REFERRALS):
@@ -229,7 +269,12 @@ class Resolver:
     def _referral_targets(
         self, response: Message
     ) -> Tuple[List[IPv4Address], List[DnsName]]:
-        """Split a referral into glued addresses and glueless NS names."""
+        """Split a referral into glued addresses and glueless NS names.
+
+        Every referral seen is also recorded in the shared zone-cut
+        cache (when one is wired in), so later resolutions and probe
+        walks can start at this delegation instead of the root.
+        """
         delegation = None
         for rrset in response.authority:
             if rrset.rrtype == RRType.NS:
@@ -238,16 +283,28 @@ class Resolver:
         assert delegation is not None
         addresses: List[IPv4Address] = []
         glueless: List[DnsName] = []
+        hostnames: List[DnsName] = []
+        glue_map: Dict[DnsName, Tuple[IPv4Address, ...]] = {}
+        ttl = delegation.ttl
         for rdata in delegation.rdatas:
             assert isinstance(rdata, NS)
+            hostnames.append(rdata.nsdname)
             glue = response.glue_for(rdata.nsdname)
             if glue:
+                glued: List[IPv4Address] = []
                 for glue_set in glue:
+                    ttl = min(ttl, glue_set.ttl)
                     for glue_rdata in glue_set.rdatas:
                         assert isinstance(glue_rdata, A)
-                        addresses.append(glue_rdata.address)
+                        glued.append(glue_rdata.address)
+                addresses.extend(glued)
+                glue_map[rdata.nsdname] = tuple(glued)
             else:
                 glueless.append(rdata.nsdname)
+        if self._zone_cuts is not None:
+            self._zone_cuts.put(
+                delegation.name, tuple(hostnames), glue_map, ttl
+            )
         return addresses, glueless
 
     def _try_servers(

@@ -9,6 +9,7 @@ from .clock import (
     epoch_to_date,
     year_bounds,
 )
+from .events import EventScheduler, PendingExchange
 from .latency import FixedLatency, LatencyModel, LogNormalLatency
 from .network import (
     FunctionHost,
@@ -30,6 +31,8 @@ __all__ = [
     "days_in_year",
     "epoch_to_date",
     "year_bounds",
+    "EventScheduler",
+    "PendingExchange",
     "FixedLatency",
     "LatencyModel",
     "LogNormalLatency",

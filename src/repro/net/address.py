@@ -59,6 +59,12 @@ class IPv4Address:
         if not 0 <= self.value <= _MAX_IPV4:
             raise ValueError(f"IPv4 value out of range: {self.value}")
 
+    def __hash__(self) -> int:
+        # Addresses key the hottest dicts and sets in the simulator
+        # (politeness tracking, per-destination stats, attachment
+        # lookup); the generated dataclass hash builds a tuple per call.
+        return self.value
+
     @classmethod
     def parse(cls, text: str) -> "IPv4Address":
         return cls(parse_ipv4(text))

@@ -15,11 +15,13 @@ The client-side retry policy lives in the DNS resolver, not here.
 from __future__ import annotations
 
 import random
+from collections import Counter
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Optional
 
 from .address import IPv4Address
 from .clock import SimulatedClock
+from .events import EventScheduler, PendingExchange
 from .latency import FixedLatency, LatencyModel
 
 __all__ = ["Host", "NetworkError", "QueryTimeout", "Network", "NetworkStats"]
@@ -63,21 +65,31 @@ class NetworkStats:
     responses_received: int = 0
     timeouts: int = 0
     datagrams_lost: int = 0
-    per_destination: Dict[IPv4Address, int] = field(default_factory=dict)
+    # A Counter keeps the hot per-query increment a single __setitem__
+    # with no .get() round-trip; it is still a dict to all readers.
+    per_destination: "Counter[IPv4Address]" = field(default_factory=Counter)
 
     def record_query(self, destination: IPv4Address) -> None:
         self.queries_sent += 1
-        self.per_destination[destination] = (
-            self.per_destination.get(destination, 0) + 1
-        )
+        self.per_destination[destination] += 1
 
 
-@dataclass
 class _Attachment:
-    host: Host
-    up: bool = True
-    loss_rate: float = 0.0
-    latency: Optional[LatencyModel] = None
+    """Per-address delivery state; one per attached host (hot path)."""
+
+    __slots__ = ("host", "up", "loss_rate", "latency")
+
+    def __init__(
+        self,
+        host: Host,
+        up: bool = True,
+        loss_rate: float = 0.0,
+        latency: Optional[LatencyModel] = None,
+    ) -> None:
+        self.host = host
+        self.up = up
+        self.loss_rate = loss_rate
+        self.latency = latency
 
 
 class Network:
@@ -117,6 +129,7 @@ class Network:
         self._flaky_loss_rate = flaky_loss_rate
         self._attachments: Dict[IPv4Address, _Attachment] = {}
         self.stats = NetworkStats()
+        self.events = EventScheduler(self.clock)
 
     # ------------------------------------------------------------------
     # Topology management
@@ -176,6 +189,72 @@ class Network:
     # ------------------------------------------------------------------
     # Delivery
     # ------------------------------------------------------------------
+    def send(
+        self,
+        destination: IPv4Address,
+        payload: Any,
+        source: Optional[IPv4Address] = None,
+        timeout: float = 5.0,
+        on_complete: Optional[Callable[[PendingExchange], None]] = None,
+    ) -> PendingExchange:
+        """Issue one datagram without blocking; returns the in-flight
+        exchange.
+
+        The outcome is drawn *now* (loss, latency, and the server's
+        reply, in the same RNG order as the blocking path — hosts here
+        are time-independent, so answering early changes nothing), but
+        it becomes observable only when the event scheduler reaches the
+        exchange's due time: the round-trip on success, the caller's
+        full ``timeout`` on silence.  Overlapping sends therefore cost
+        the *max* of their waits in simulated time, not the sum.
+        """
+        if timeout <= 0:
+            raise ValueError(f"timeout must be positive: {timeout}")
+        self.stats.record_query(destination)
+        src = source if source is not None else IPv4Address.parse("192.0.2.1")
+
+        response: Optional[Any] = None
+        delay = timeout
+        attachment = self._attachments.get(destination)
+        if attachment is not None and attachment.up:
+            lost = (
+                attachment.loss_rate
+                and self._rng.random() < attachment.loss_rate
+            )
+            if lost:
+                self.stats.datagrams_lost += 1
+            else:
+                latency = attachment.latency or self._default_latency
+                rtt = latency.sample(self._rng) + latency.sample(self._rng)
+                if rtt < timeout:
+                    reply = attachment.host.handle_datagram(payload, src)
+                    if reply is not None:
+                        response = reply
+                        delay = rtt
+
+        exchange = PendingExchange(
+            destination=destination,
+            timeout=timeout,
+            due_time=self.clock.now + delay,
+            response=response,
+            scheduler=self.events,
+            on_complete=on_complete,
+        )
+        self.events.schedule_at(exchange.due_time, self._deliver(exchange))
+        return exchange
+
+    def _deliver(self, exchange: PendingExchange) -> Callable[[], None]:
+        """Completion event: settle stats, then surface the exchange."""
+
+        def fire() -> None:
+            if exchange._response is None:
+                self.stats.timeouts += 1
+            else:
+                self.stats.responses_received += 1
+            exchange._complete()
+
+        return fire
+
     def query(
         self,
         destination: IPv4Address,
@@ -189,38 +268,15 @@ class Network:
         Simulated time advances by the round-trip latency on success and
         by the full ``timeout`` on failure — so a probe run over a world
         full of dead servers takes proportionally longer, as it did for
-        the paper's authors.
+        the paper's authors.  (One blocking exchange through the event
+        scheduler: ``send(...).wait()``.)
         """
-        if timeout <= 0:
-            raise ValueError(f"timeout must be positive: {timeout}")
-        self.stats.record_query(destination)
-        src = source if source is not None else IPv4Address.parse("192.0.2.1")
-
-        attachment = self._attachments.get(destination)
-        if attachment is None or not attachment.up:
-            return self._timeout(destination, timeout)
-
-        if attachment.loss_rate and self._rng.random() < attachment.loss_rate:
-            self.stats.datagrams_lost += 1
-            return self._timeout(destination, timeout)
-
-        latency = attachment.latency or self._default_latency
-        rtt = latency.sample(self._rng) + latency.sample(self._rng)
-        if rtt >= timeout:
-            return self._timeout(destination, timeout)
-
-        response = attachment.host.handle_datagram(payload, src)
+        response = self.send(
+            destination, payload, source=source, timeout=timeout
+        ).wait()
         if response is None:
-            return self._timeout(destination, timeout)
-
-        self.clock.advance(rtt)
-        self.stats.responses_received += 1
+            raise QueryTimeout(destination, timeout)
         return response
-
-    def _timeout(self, destination: IPv4Address, timeout: float) -> Any:
-        self.clock.advance(timeout)
-        self.stats.timeouts += 1
-        raise QueryTimeout(destination, timeout)
 
 
 class FunctionHost(Host):

@@ -1,0 +1,110 @@
+"""Performance baselines for the measurement engine.
+
+The probe engine's perf benchmark records, for each engine
+configuration it exercises, how much the campaign cost in three
+currencies:
+
+* **wall-clock seconds** — real time spent driving the simulation;
+* **simulated seconds** — how long the campaign took in virtual time
+  (what a real deployment of the methodology would experience);
+* **queries** — how many queries the prober issued (measurement plus
+  infrastructure traffic), the paper's politeness currency.
+
+Records are written to a single JSON file (``BENCH_probe.json``) so CI
+can archive one artifact per run and successive runs can be compared
+without re-parsing benchmark stdout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .export import to_json, write_json
+
+__all__ = ["PerfRecord", "PerfReport"]
+
+
+@dataclass(frozen=True)
+class PerfRecord:
+    """One engine configuration's campaign cost."""
+
+    label: str
+    max_in_flight: int
+    zone_cut_caching: bool
+    targets: int
+    wall_seconds: float
+    simulated_seconds: float
+    active_seconds: float  # simulated minus configured inter-round waits
+    queries_sent: int  # prober-issued series (walk + sweep)
+    network_queries: int  # every datagram, including NS-address resolution
+    timeouts: int
+    responsive_domains: int
+
+
+@dataclass
+class PerfReport:
+    """A set of perf records plus derived baseline-vs-config ratios."""
+
+    scale: float
+    seed: int
+    records: List[PerfRecord] = field(default_factory=list)
+    baseline_label: Optional[str] = None
+
+    def add(self, record: PerfRecord, baseline: bool = False) -> None:
+        if any(r.label == record.label for r in self.records):
+            raise ValueError(f"duplicate perf record label: {record.label}")
+        self.records.append(record)
+        if baseline:
+            self.baseline_label = record.label
+
+    def get(self, label: str) -> PerfRecord:
+        for record in self.records:
+            if record.label == label:
+                return record
+        raise KeyError(f"no perf record labelled {label!r}")
+
+    def reductions(self, label: str) -> Dict[str, float]:
+        """Baseline-over-config ratios (>1 means the config is cheaper).
+
+        ``queries_sent``, ``network_queries``, ``wall_seconds``, and
+        ``active_seconds`` are each compared against the baseline
+        record; a ratio of 2.0 reads "the baseline cost 2x more".
+        """
+        if self.baseline_label is None:
+            raise ValueError("no baseline record marked")
+        baseline = self.get(self.baseline_label)
+        record = self.get(label)
+        ratios: Dict[str, float] = {}
+        for metric in (
+            "queries_sent",
+            "network_queries",
+            "wall_seconds",
+            "active_seconds",
+        ):
+            cost = getattr(record, metric)
+            ratios[metric] = (
+                float("inf") if cost == 0 else getattr(baseline, metric) / cost
+            )
+        return ratios
+
+    def payload(self) -> Dict[str, object]:
+        out: Dict[str, object] = {
+            "scale": self.scale,
+            "seed": self.seed,
+            "baseline": self.baseline_label,
+            "records": {record.label: record for record in self.records},
+        }
+        if self.baseline_label is not None:
+            out["reductions_vs_baseline"] = {
+                record.label: self.reductions(record.label)
+                for record in self.records
+                if record.label != self.baseline_label
+            }
+        return out
+
+    def to_json(self) -> str:
+        return to_json(self.payload())
+
+    def write(self, path: str) -> None:
+        write_json(path, self.payload())

@@ -1,0 +1,125 @@
+"""The discrete-event scheduler and non-blocking exchanges.
+
+The engine's determinism guarantee rests on two properties tested
+here: events fire in ``(due_time, seq)`` order (insertion order breaks
+ties), and the clock never moves backwards when a late-scheduled event
+is already due.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net import (
+    EventScheduler,
+    Network,
+    QueryTimeout,
+    SimulatedClock,
+)
+from repro.dns import RRType, make_query
+
+from tests.conftest import build_mini_dns
+
+
+def test_events_fire_in_due_time_order():
+    clock = SimulatedClock(1000.0)
+    scheduler = EventScheduler(clock)
+    fired = []
+    scheduler.schedule_in(5.0, lambda: fired.append("late"))
+    scheduler.schedule_in(1.0, lambda: fired.append("early"))
+    scheduler.schedule_in(3.0, lambda: fired.append("middle"))
+    scheduler.run_until_idle()
+    assert fired == ["early", "middle", "late"]
+    assert clock.now == 1005.0
+
+
+def test_same_instant_events_fire_in_schedule_order():
+    clock = SimulatedClock(0.0)
+    scheduler = EventScheduler(clock)
+    fired = []
+    for tag in ("a", "b", "c"):
+        scheduler.schedule_at(7.0, lambda tag=tag: fired.append(tag))
+    scheduler.run_until_idle()
+    assert fired == ["a", "b", "c"]
+
+
+def test_past_due_event_does_not_rewind_clock():
+    clock = SimulatedClock(0.0)
+    scheduler = EventScheduler(clock)
+    fired = []
+    scheduler.schedule_at(2.0, lambda: fired.append(clock.now))
+    clock.advance(10.0)
+    assert scheduler.run_next()
+    # The overdue event fires, but time stays monotone.
+    assert fired == [10.0]
+    assert clock.now == 10.0
+    assert not scheduler.run_next()
+
+
+def test_events_scheduled_during_run_interleave():
+    clock = SimulatedClock(0.0)
+    scheduler = EventScheduler(clock)
+    fired = []
+
+    def first():
+        fired.append("first")
+        scheduler.schedule_in(1.0, lambda: fired.append("nested"))
+
+    scheduler.schedule_in(1.0, first)
+    scheduler.schedule_in(5.0, lambda: fired.append("last"))
+    scheduler.run_until_idle()
+    assert fired == ["first", "nested", "last"]
+    assert clock.now == 5.0
+
+
+def test_schedule_rejects_nonfinite_due_time():
+    scheduler = EventScheduler(SimulatedClock(0.0))
+    with pytest.raises(ValueError):
+        scheduler.schedule_at(float("nan"), lambda: None)
+
+
+def test_network_send_completes_via_scheduler():
+    world = build_mini_dns()
+    network: Network = world["network"]
+    query = make_query(world["gov_zone"].origin, RRType.NS)
+    seen = []
+    exchange = network.send(
+        world["gov_address"], query, on_complete=seen.append
+    )
+    assert not exchange.done
+    network.events.run_until_idle()
+    assert exchange.done
+    assert seen == [exchange]
+    assert exchange.response is not None
+    assert exchange.response.aa
+
+
+def test_send_wait_matches_blocking_query():
+    """``Network.query`` is exactly ``send(...).wait()`` plus the
+    timeout exception."""
+    world_a = build_mini_dns()
+    world_b = build_mini_dns()
+    query = make_query(world_a["gov_zone"].origin, RRType.NS)
+
+    blocking = world_a["network"].query(world_a["gov_address"], query)
+    nonblocking = world_b["network"].send(world_b["gov_address"], query).wait()
+    assert nonblocking is not None
+    assert blocking.answers == nonblocking.answers
+    assert world_a["network"].clock.now == world_b["network"].clock.now
+
+
+def test_send_timeout_counted_and_query_raises():
+    world = build_mini_dns()
+    network: Network = world["network"]
+    network.set_up(world["gov_address"], False)
+    query = make_query(world["gov_zone"].origin, RRType.NS)
+
+    exchange = network.send(world["gov_address"], query, timeout=2.0)
+    result = exchange.wait()
+    assert result is None
+    assert exchange.timed_out
+    assert network.stats.timeouts == 1
+
+    with pytest.raises(QueryTimeout):
+        network.query(world["gov_address"], query, timeout=2.0)
+    assert network.stats.timeouts == 2

@@ -1,0 +1,282 @@
+"""The concurrent probe engine's determinism contract.
+
+Three pledges, in descending order of strength:
+
+1. ``max_in_flight=1`` with zone-cut caching off reproduces the
+   historical strictly-serial prober **bit for bit** (pinned by a
+   golden dataset fingerprint).
+2. Any window is **deterministic**: same seed, same dataset, run after
+   run.
+3. Concurrency respects the campaign's politeness controls: the rate
+   limiter charges virtual time per issued series even when waits
+   overlap, and the retry round can re-resolve servers that were
+   unresolvable in round one.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+import pytest
+
+from repro.core.probe import ActiveProber, ProbeConfig
+from repro.dns import (
+    A,
+    AuthoritativeServer,
+    DnsName,
+    NS,
+    SOA,
+    Zone,
+)
+from repro.net import IPv4Address, Network
+from repro.worldgen import WorldConfig, WorldGenerator
+
+from tests.conftest import TEST_SCALE, TEST_SEED
+
+# sha256 over the serialized dataset of the pre-refactor, strictly
+# blocking prober on the (seed=7, scale=0.004) world — the engine's
+# serial-equivalence golden value.
+GOLDEN_SERIAL_FINGERPRINT = (
+    "8ce0559935e98fdf744f5519a41729e8599e482fed6e7a83ded2556ba7d68c4b"
+)
+
+
+def _fingerprint(dataset) -> str:
+    blob = json.dumps(
+        {
+            str(d): {
+                "status": r.parent_status,
+                "parent_ns": [str(h) for h in r.parent_ns],
+                "child_ns": [str(h) for h in r.child_ns],
+                "queries": r.queries_sent,
+                "retried": r.retried,
+                "servers": {
+                    str(h): {
+                        "resolvable": s.resolvable,
+                        "addresses": [str(a) for a in s.addresses],
+                        "outcomes": {
+                            str(a): o for a, o in sorted(s.outcomes.items())
+                        },
+                        "ns_by_address": {
+                            str(a): [str(n) for n in ns]
+                            for a, ns in sorted(s.ns_by_address.items())
+                        },
+                    }
+                    for h, s in sorted(r.servers.items())
+                },
+            }
+            for d, r in sorted(dataset.results.items())
+        },
+        sort_keys=True,
+    ).encode()
+    return hashlib.sha256(blob).hexdigest()
+
+
+def _run_campaign(max_in_flight: int, zone_cut_caching: bool, qps=500.0):
+    world = WorldGenerator(
+        WorldConfig(seed=TEST_SEED, scale=TEST_SCALE)
+    ).generate()
+    from repro.core.study import GovernmentDnsStudy
+
+    targets = GovernmentDnsStudy(world).targets()
+    prober = ActiveProber(
+        world.network,
+        world.root_addresses,
+        world.probe_source,
+        config=ProbeConfig(
+            max_in_flight=max_in_flight,
+            zone_cut_caching=zone_cut_caching,
+            rate_limit_qps=qps,
+        ),
+    )
+    sim_start = world.clock.now
+    dataset = prober.probe_all(targets)
+    return {
+        "prober": prober,
+        "world": world,
+        "dataset": dataset,
+        "fingerprint": _fingerprint(dataset),
+        "sim_elapsed": world.clock.now - sim_start,
+    }
+
+
+def test_config_rejects_zero_window():
+    with pytest.raises(ValueError):
+        ProbeConfig(max_in_flight=0)
+
+
+def test_serial_mode_reproduces_golden_dataset():
+    run = _run_campaign(max_in_flight=1, zone_cut_caching=False)
+    assert run["fingerprint"] == GOLDEN_SERIAL_FINGERPRINT
+
+
+def test_wide_window_reproduces_serial_dataset():
+    """Outcomes are sealed at issue time, so at this seed and scale a
+    64-deep window yields the very same dataset the serial engine
+    does — concurrency moves waits, not findings."""
+    run = _run_campaign(max_in_flight=64, zone_cut_caching=False)
+    assert run["fingerprint"] == GOLDEN_SERIAL_FINGERPRINT
+
+
+def test_concurrent_cached_engine_is_deterministic():
+    first = _run_campaign(max_in_flight=64, zone_cut_caching=True)
+    second = _run_campaign(max_in_flight=64, zone_cut_caching=True)
+    assert first["fingerprint"] == second["fingerprint"]
+    assert first["prober"].queries_sent == second["prober"].queries_sent
+    assert first["sim_elapsed"] == second["sim_elapsed"]
+
+
+def test_caching_preserves_findings_and_cuts_queries():
+    serial = _run_campaign(max_in_flight=1, zone_cut_caching=False)
+    cached = _run_campaign(max_in_flight=64, zone_cut_caching=True)
+
+    serial_results = serial["dataset"].results
+    cached_results = cached["dataset"].results
+    assert sorted(serial_results) == sorted(cached_results)
+    for domain, expected in serial_results.items():
+        got = cached_results[domain]
+        assert got.parent_status == expected.parent_status
+        assert got.responsive == expected.responsive
+    assert cached["prober"].queries_sent < serial["prober"].queries_sent
+
+
+def test_rate_limiter_charges_virtual_time_under_concurrency():
+    """Overlapping waits must not launder politeness: with the bucket
+    dry, N series cost at least (N - burst) / qps simulated seconds no
+    matter how many exchanges are in flight."""
+    qps = 50.0
+    run = _run_campaign(max_in_flight=64, zone_cut_caching=True, qps=qps)
+    prober = run["prober"]
+    limiter = prober._limiter
+    assert limiter is not None
+    assert limiter.waited_seconds > 0.0
+    floor = (prober.queries_sent - limiter.burst) / qps
+    # Subtract the fixed inter-round wait: the limiter governs the
+    # active portion of the campaign.
+    active = run["sim_elapsed"] - prober.config.retry_interval_days * 86_400
+    assert active >= floor
+
+
+def _build_recovering_world():
+    """A world where the target's only NS is glueless and its
+    resolution path is dead during round one, then revived (via a
+    scheduled event) before the retry round."""
+    network = Network()
+    ip = IPv4Address.parse
+
+    root_address = ip("198.41.0.4")
+    au_address = ip("1.0.0.1")
+    gov_address = ip("2.0.0.1")
+    other_ns_address = ip("4.0.0.1")  # serves other.au; down in round 1
+    target_ns_address = ip("5.0.0.1")  # serves health.gov.au; always up
+
+    root_zone = Zone(DnsName.parse("."))
+    root_zone.add_records(
+        DnsName.parse("."), NS(DnsName.parse("a.root-servers.net."))
+    )
+    root_zone.add_records(DnsName.parse("au."), NS(DnsName.parse("ns.au.")))
+    root_zone.add_records(DnsName.parse("ns.au."), A(au_address))
+    root_server = AuthoritativeServer(DnsName.parse("a.root-servers.net."))
+    root_server.load_zone(root_zone)
+    network.attach(root_address, root_server)
+
+    au_zone = Zone(DnsName.parse("au."))
+    au_zone.add_records(DnsName.parse("au."), NS(DnsName.parse("ns.au.")))
+    au_zone.add_records(
+        DnsName.parse("au."),
+        SOA(DnsName.parse("ns.au."), DnsName.parse("hostmaster.au.")),
+    )
+    au_zone.add_records(DnsName.parse("ns.au."), A(au_address))
+    au_zone.add_records(
+        DnsName.parse("gov.au."), NS(DnsName.parse("ns1.gov.au."))
+    )
+    au_zone.add_records(DnsName.parse("ns1.gov.au."), A(gov_address))
+    au_zone.add_records(
+        DnsName.parse("other.au."), NS(DnsName.parse("ns.other.au."))
+    )
+    au_zone.add_records(DnsName.parse("ns.other.au."), A(other_ns_address))
+    au_server = AuthoritativeServer(DnsName.parse("ns.au."))
+    au_server.load_zone(au_zone)
+    network.attach(au_address, au_server)
+
+    gov_zone = Zone(DnsName.parse("gov.au."))
+    gov_zone.add_records(
+        DnsName.parse("gov.au."), NS(DnsName.parse("ns1.gov.au."))
+    )
+    gov_zone.add_records(
+        DnsName.parse("gov.au."),
+        SOA(DnsName.parse("ns1.gov.au."), DnsName.parse("hostmaster.gov.au.")),
+    )
+    gov_zone.add_records(DnsName.parse("ns1.gov.au."), A(gov_address))
+    # The measured delegation: glueless, hosted under other.au.
+    gov_zone.add_records(
+        DnsName.parse("health.gov.au."), NS(DnsName.parse("ns1.other.au."))
+    )
+    gov_server = AuthoritativeServer(DnsName.parse("ns1.gov.au."))
+    gov_server.load_zone(gov_zone)
+    network.attach(gov_address, gov_server)
+
+    other_zone = Zone(DnsName.parse("other.au."))
+    other_zone.add_records(
+        DnsName.parse("other.au."), NS(DnsName.parse("ns.other.au."))
+    )
+    other_zone.add_records(
+        DnsName.parse("other.au."),
+        SOA(DnsName.parse("ns.other.au."), DnsName.parse("hostmaster.other.au.")),
+    )
+    other_zone.add_records(DnsName.parse("ns.other.au."), A(other_ns_address))
+    other_zone.add_records(DnsName.parse("ns1.other.au."), A(target_ns_address))
+    other_server = AuthoritativeServer(DnsName.parse("ns.other.au."))
+    other_server.load_zone(other_zone)
+    network.attach(other_ns_address, other_server)
+
+    health_zone = Zone(DnsName.parse("health.gov.au."))
+    health_zone.add_records(
+        DnsName.parse("health.gov.au."), NS(DnsName.parse("ns1.other.au."))
+    )
+    health_zone.add_records(
+        DnsName.parse("health.gov.au."),
+        SOA(
+            DnsName.parse("ns1.other.au."),
+            DnsName.parse("hostmaster.health.gov.au."),
+        ),
+    )
+    target_server = AuthoritativeServer(DnsName.parse("ns1.other.au."))
+    target_server.load_zone(health_zone)
+    network.attach(target_ns_address, target_server)
+
+    return network, root_address, other_ns_address
+
+
+def test_retry_round_re_resolves_previously_dead_servers():
+    network, root_address, other_ns_address = _build_recovering_world()
+    domain = DnsName.parse("health.gov.au.")
+
+    # Round one: the resolution path for the target's only (glueless)
+    # nameserver is dead.
+    network.set_up(other_ns_address, False)
+    # Revive it one simulated hour in — long after round one's walk,
+    # well before the retry round a simulated day later.
+    network.events.schedule_in(
+        3600.0, lambda: network.set_up(other_ns_address, True)
+    )
+
+    prober = ActiveProber(
+        network,
+        [root_address],
+        IPv4Address.parse("203.0.113.7"),
+        config=ProbeConfig(rate_limit_qps=None),
+    )
+    dataset = prober.probe_all({domain: "AU"})
+    result = dataset.results[domain]
+
+    assert result.parent_nonempty
+    assert result.retried
+    server = result.servers[DnsName.parse("ns1.other.au.")]
+    # The fix under test: round two re-resolved the hostname instead of
+    # reusing round one's cached empty address set...
+    assert server.resolvable
+    assert server.addresses == (IPv4Address.parse("5.0.0.1"),)
+    # ...and the recovered server then answered the sweep.
+    assert result.responsive

@@ -1,0 +1,137 @@
+"""The shared zone-cut (delegation) cache.
+
+Two properties matter: TTL honesty (entries expire against the
+simulated clock, clamped to the resolvers' 7-day maximum) and
+advisory-ness — a warm cache changes what a walk *costs*, never what
+it *observes*.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.probe import ActiveProber, ProbeConfig
+from repro.dns import MAX_RESOLVER_TTL, DnsName, ZoneCutCache
+from repro.net import IPv4Address, SimulatedClock
+
+from tests.conftest import build_mini_dns
+
+_GOV = DnsName.parse("gov.au.")
+_HEALTH = DnsName.parse("health.gov.au.")
+_NS = (DnsName.parse("ns1.gov.au."),)
+_GLUE = {DnsName.parse("ns1.gov.au."): (IPv4Address.parse("2.0.0.1"),)}
+
+
+def test_put_get_and_ttl_expiry():
+    clock = SimulatedClock(0.0)
+    cache = ZoneCutCache(clock)
+    cache.put(_GOV, _NS, _GLUE, ttl=300)
+    assert len(cache) == 1
+
+    cut = cache.get(_GOV)
+    assert cut is not None
+    assert cut.hostnames == _NS
+    assert cut.addresses() == (IPv4Address.parse("2.0.0.1"),)
+    assert cut.glueless() == ()
+
+    clock.advance(299.0)
+    assert cache.get(_GOV) is not None
+    clock.advance(1.0)
+    assert cache.get(_GOV) is None  # expired exactly at TTL
+    assert len(cache) == 0
+
+
+def test_ttl_clamped_to_resolver_maximum():
+    clock = SimulatedClock(0.0)
+    cache = ZoneCutCache(clock)
+    cache.put(_GOV, _NS, _GLUE, ttl=30 * 86_400)  # a month-long TTL
+    clock.advance(MAX_RESOLVER_TTL - 1)
+    assert cache.get(_GOV) is not None
+    clock.advance(1)
+    assert cache.get(_GOV) is None
+
+
+def test_deepest_enclosing_is_strictly_above():
+    clock = SimulatedClock(0.0)
+    cache = ZoneCutCache(clock)
+    cache.put(_GOV, _NS, _GLUE, ttl=3600)
+    cache.put(_HEALTH, _NS, _GLUE, ttl=3600)
+
+    # A cut at the name itself must NOT satisfy a lookup for that name:
+    # the referral naming the domain is the measurement.
+    found = cache.deepest_enclosing(_HEALTH)
+    assert found is not None
+    assert found.name == _GOV
+
+    # Deeper names do see the deeper cut.
+    www = DnsName.parse("www.health.gov.au.")
+    found = cache.deepest_enclosing(www)
+    assert found is not None
+    assert found.name == _HEALTH
+
+    # Nothing above top-level: the root is never a "cut".
+    assert cache.deepest_enclosing(DnsName.parse("au.")) is None
+    assert cache.hits == 2
+    assert cache.misses == 1
+
+
+def test_glueless_hostnames_reported():
+    clock = SimulatedClock(0.0)
+    cache = ZoneCutCache(clock)
+    lame = DnsName.parse("ns.offsite.example.")
+    cache.put(_GOV, _NS + (lame,), _GLUE, ttl=3600)
+    cut = cache.get(_GOV)
+    assert cut is not None
+    assert cut.glueless() == (lame,)
+    assert cut.addresses() == (IPv4Address.parse("2.0.0.1"),)
+
+
+def test_invalidate_and_flush():
+    clock = SimulatedClock(0.0)
+    cache = ZoneCutCache(clock)
+    cache.put(_GOV, _NS, _GLUE, ttl=3600)
+    cache.invalidate(_GOV)
+    assert cache.get(_GOV) is None
+    cache.put(_GOV, _NS, _GLUE, ttl=3600)
+    cache.flush()
+    assert len(cache) == 0
+
+
+def test_rejects_nonpositive_max_ttl():
+    with pytest.raises(ValueError):
+        ZoneCutCache(SimulatedClock(0.0), max_ttl=0)
+
+
+def _probe_mini(zone_cut_caching: bool):
+    world = build_mini_dns()
+    prober = ActiveProber(
+        world["network"],
+        [world["root_address"]],
+        IPv4Address.parse("203.0.113.7"),
+        config=ProbeConfig(
+            rate_limit_qps=None, zone_cut_caching=zone_cut_caching
+        ),
+    )
+    first = prober.probe_domain(_HEALTH)
+    second = prober.probe_domain(DnsName.parse("www.gov.au."))
+    return prober, first, second
+
+
+def test_cached_walk_observes_what_cold_walk_observes():
+    cold_prober, cold_first, cold_second = _probe_mini(False)
+    warm_prober, warm_first, warm_second = _probe_mini(True)
+
+    for cold, warm in ((cold_first, warm_first), (cold_second, warm_second)):
+        assert warm.parent_status == cold.parent_status
+        assert warm.parent_ns == cold.parent_ns
+        assert warm.child_ns == cold.child_ns
+        assert {h: s.outcomes for h, s in warm.servers.items()} == {
+            h: s.outcomes for h, s in cold.servers.items()
+        }
+
+    # The warm engine recorded cuts during the first walk and started
+    # the second walk below the root.
+    assert warm_prober.zone_cuts is not None
+    assert len(warm_prober.zone_cuts) > 0
+    assert cold_prober.zone_cuts is None
+    assert warm_second.queries_sent < cold_second.queries_sent
