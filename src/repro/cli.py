@@ -9,6 +9,7 @@ Commands
 ``remediate``  apply the §V-B toolbox and report before/after
 ``disclose``   responsible-disclosure notifications per operator
 ``lint``       run reprolint, the AST-based invariant checker
+``campaign``   run the probe campaign with chaos/journal/resume controls
 
 Common options: ``--seed`` and ``--scale`` select the deterministic
 world; everything else derives from them.
@@ -71,6 +72,48 @@ def build_parser() -> argparse.ArgumentParser:
         "lint", help="check determinism/error-hygiene/DNS-semantics invariants"
     )
     lint_cli.configure_parser(lint)
+
+    campaign = sub.add_parser(
+        "campaign",
+        help="run the probe campaign with chaos/journal/resume controls",
+    )
+    from .net.chaos import PROFILES as _CHAOS_PROFILES
+
+    campaign.add_argument(
+        "--chaos",
+        choices=_CHAOS_PROFILES,
+        default=None,
+        help="inject a canonical deterministic fault profile",
+    )
+    campaign.add_argument(
+        "--journal",
+        default=None,
+        metavar="PATH",
+        help="record a checkpoint journal (JSONL) to PATH",
+    )
+    campaign.add_argument(
+        "--resume",
+        default=None,
+        metavar="PATH",
+        help=(
+            "resume a killed campaign from its journal (and keep "
+            "journaling to the same file); requires the same seed, "
+            "scale, and --chaos profile as the original run"
+        ),
+    )
+    campaign.add_argument(
+        "--kill-at-event",
+        type=int,
+        default=None,
+        metavar="N",
+        help="abort after N scheduler events (kill-at-event harness)",
+    )
+    campaign.add_argument(
+        "--resilience-out",
+        default=None,
+        metavar="PATH",
+        help="write the resilience-counter report as JSON to PATH",
+    )
     return parser
 
 
@@ -249,6 +292,86 @@ def _cmd_lint(args: argparse.Namespace, out) -> int:
     return lint_cli.run(args, out)
 
 
+def _cmd_campaign(args: argparse.Namespace, out) -> int:
+    from .core.journal import CampaignJournal, dataset_digest
+    from .core.probe import ActiveProber
+    from .dns.message import Rcode, make_response
+    from .net.chaos import build_profile
+    from .net.events import CampaignAborted
+    from .report.resilience import ResilienceReport
+
+    if args.journal and args.resume:
+        print(
+            "--journal and --resume are mutually exclusive "
+            "(--resume keeps journaling to the same file)",
+            file=out,
+        )
+        return 2
+
+    world = WorldGenerator(
+        WorldConfig(seed=args.seed, scale=args.scale)
+    ).generate()
+    study = GovernmentDnsStudy(world)
+    # Seed selection runs its own queries; compute targets before
+    # installing chaos or arming the kill switch so both anchor at the
+    # campaign proper.
+    targets = study.targets()
+
+    if args.chaos is not None:
+        world.network.chaos = build_profile(
+            args.chaos,
+            sorted(world.network.addresses()),
+            seed=args.seed,
+            start=world.clock.now,
+            refusal_factory=lambda query: make_response(
+                query, rcode=Rcode.REFUSED
+            ),
+        )
+
+    journal: Optional[CampaignJournal] = None
+    if args.resume is not None:
+        journal = CampaignJournal.resume(args.resume)
+    elif args.journal is not None:
+        journal = CampaignJournal.create(args.journal)
+
+    prober = ActiveProber(
+        world.network,
+        world.root_addresses,
+        world.probe_source,
+        journal=journal,
+    )
+    if args.kill_at_event is not None:
+        # Relative to events already fired by world generation and seed
+        # selection, so --kill-at-event counts campaign events only.
+        world.network.events.abort_after = (
+            world.network.events.fired + args.kill_at_event
+        )
+    try:
+        dataset = prober.probe_all(targets)
+    except ValueError as error:
+        # Journal/campaign mismatch and similar refusals are user
+        # errors, not crashes.
+        print(f"error: {error}", file=out)
+        return 2
+    except CampaignAborted as aborted:
+        print(f"campaign killed: {aborted}", file=out)
+        if journal is not None:
+            print(
+                f"journal preserved: resume with --resume {journal.path}",
+                file=out,
+            )
+        return 0
+
+    print(f"domains probed: {len(dataset)}", file=out)
+    print(f"dataset-digest: {dataset_digest(dataset)}", file=out)
+    report = ResilienceReport.collect(prober, dataset, journal)
+    print(report.render(), file=out)
+    if args.resilience_out is not None:
+        report.write(args.resilience_out)
+        print(f"resilience report written to {args.resilience_out}", file=out)
+    return 0
+
+
 _COMMANDS = {
     "headline": _cmd_headline,
     "paperkit": _cmd_paperkit,
@@ -257,6 +380,7 @@ _COMMANDS = {
     "remediate": _cmd_remediate,
     "disclose": _cmd_disclose,
     "lint": _cmd_lint,
+    "campaign": _cmd_campaign,
 }
 
 

@@ -43,9 +43,16 @@ class ServerOutcome:
     UPWARD = "upward"      # upward referral (classic lame signature)
     LAME = "lame"          # some other non-authoritative response
     TIMEOUT = "timeout"
+    BREAKER_OPEN = "breaker_open"  # probe skipped: circuit breaker open
 
     # Outcomes that constitute "answering queries for the zone".
     AUTHORITATIVE = frozenset({ANSWER, NODATA})
+
+    # Outcomes that prove only that *we* observed silence (or declined
+    # to probe) — not that the server is misconfigured.  A defect
+    # verdict resting solely on these is transient-failure-shaped and
+    # gets "provisional" confidence until a second round confirms it.
+    SOFT_FAILURES = frozenset({TIMEOUT, BREAKER_OPEN})
 
 
 @dataclass
@@ -59,6 +66,10 @@ class ServerProbe:
     ns_by_address: Dict[IPv4Address, Tuple[DnsName, ...]] = field(
         default_factory=dict
     )
+    # Round-one verdicts that the retry round cleared before
+    # re-querying (TIMEOUT / SERVFAIL / BREAKER_OPEN).  Empty unless the
+    # domain was retried and this server had transient-shaped failures.
+    prior_outcomes: Dict[IPv4Address, str] = field(default_factory=dict)
 
     @property
     def answered(self) -> bool:
@@ -73,6 +84,33 @@ class ServerProbe:
         """A defective (lame) entry: unresolvable, or no address of it
         answers authoritatively for the zone."""
         return not self.resolvable or not self.answered
+
+    @property
+    def defect_confidence(self) -> str:
+        """How sure the pipeline is that a defect verdict is real.
+
+        ``"confirmed"``
+            The defect rests on positive evidence (unresolvable, or an
+            active wrong answer such as REFUSED / upward referral), or
+            on soft failure observed in *both* measurement rounds — a
+            persistently dead server, the paper's Figure-8 category.
+        ``"provisional"``
+            The only evidence is single-round soft failure (timeout or
+            a breaker-skipped probe): indistinguishable from a
+            transient outage, so defect prevalence built on it is an
+            upper bound.  Meaningless when :attr:`defective` is False.
+        """
+        if not self.resolvable:
+            return "confirmed"
+        soft = ServerOutcome.SOFT_FAILURES
+        for address, outcome in self.outcomes.items():
+            if outcome in ServerOutcome.AUTHORITATIVE:
+                continue
+            if outcome not in soft:
+                return "confirmed"
+            if self.prior_outcomes.get(address) in soft:
+                return "confirmed"  # silent in both rounds
+        return "provisional"
 
 
 @dataclass
@@ -106,6 +144,29 @@ class ProbeResult:
         """At least one authoritative answer from the domain's own
         nameservers — the paper's "responsive domain"."""
         return any(server.answered for server in self.servers.values())
+
+    @property
+    def failure_persistence(self) -> Optional[str]:
+        """Transient-vs-persistent classification of unresponsiveness.
+
+        ``None``
+            The domain answered in round one (no failure to classify),
+            or the parent listed nothing to probe.
+        ``"transient"``
+            Unresponsive in round one, answered after the retry round —
+            the population §III-B's retry exists to absorb.
+        ``"persistent"``
+            Still unresponsive after the retry round: two rounds of
+            evidence, the paper's genuinely-dead infrastructure.
+        ``"unconfirmed"``
+            Unresponsive but never retried (retry round disabled):
+            single-round evidence only.
+        """
+        if not self.parent_nonempty:
+            return None
+        if self.responsive:
+            return "transient" if self.retried else None
+        return "persistent" if self.retried else "unconfirmed"
 
     @property
     def all_ns(self) -> Tuple[DnsName, ...]:
@@ -163,6 +224,16 @@ class MeasurementDataset:
 
     def responsive(self) -> List[ProbeResult]:
         return [r for r in self if r.responsive]
+
+    def persistence_counts(self) -> Dict[str, int]:
+        """Histogram of :attr:`ProbeResult.failure_persistence` values
+        (domains with nothing to classify are excluded)."""
+        counts: Dict[str, int] = {}
+        for result in self:
+            key = result.failure_persistence
+            if key is not None:
+                counts[key] = counts.get(key, 0) + 1
+        return counts
 
     def by_country(self) -> Dict[str, List[ProbeResult]]:
         grouped: Dict[str, List[ProbeResult]] = {}

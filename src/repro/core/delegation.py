@@ -36,13 +36,23 @@ class DelegationClass:
 
 @dataclass(frozen=True)
 class DefectReport:
-    """One domain's defective-delegation classification."""
+    """One domain's defective-delegation classification.
+
+    ``confidence`` qualifies a defect verdict: ``"confirmed"`` when at
+    least one defective server shows positive evidence (unresolvable,
+    an active wrong answer, or soft failure across both measurement
+    rounds), ``"provisional"`` when every defect rests on single-round
+    soft failure only (see
+    :attr:`repro.core.dataset.ServerProbe.defect_confidence`).  Healthy
+    domains are always ``"confirmed"``.
+    """
 
     domain: DnsName
     iso2: str
     verdict: str
     defective_ns: Tuple[DnsName, ...]
     defective_in_parent: Tuple[DnsName, ...]
+    confidence: str = "confirmed"
 
     @property
     def any_defect(self) -> bool:
@@ -125,12 +135,19 @@ class DelegationAnalysis:
             verdict = DelegationClass.PARTIAL
         else:
             verdict = DelegationClass.HEALTHY
+        confidence = "confirmed"
+        if defective and all(
+            result.servers[h].defect_confidence == "provisional"
+            for h in defective
+        ):
+            confidence = "provisional"
         return DefectReport(
             domain=result.domain,
             iso2=result.iso2,
             verdict=verdict,
             defective_ns=defective,
             defective_in_parent=in_parent,
+            confidence=confidence,
         )
 
     def reports(self) -> Dict[DnsName, DefectReport]:
@@ -159,6 +176,29 @@ class DelegationAnalysis:
             "partial": partial / total,
             "full": full / total,
         }
+
+    def prevalence_bounds(self) -> Dict[str, float]:
+        """Bounds on the any-defect share, by evidence quality.
+
+        ``lower`` counts only *confirmed* defects (positive evidence or
+        two-round silence); ``upper`` additionally counts provisional
+        ones (single-round soft failure, indistinguishable from a
+        transient outage).  With the §III-B retry round enabled the gap
+        collapses to near zero — every surviving silence is two-round —
+        which is exactly the over-counting bound the retry exists to
+        provide.
+        """
+        reports = list(self.reports().values())
+        if not reports:
+            return {"lower": 0.0, "upper": 0.0}
+        total = len(reports)
+        confirmed = sum(
+            1
+            for r in reports
+            if r.any_defect and r.confidence == "confirmed"
+        )
+        any_defect = sum(1 for r in reports if r.any_defect)
+        return {"lower": confirmed / total, "upper": any_defect / total}
 
     def prevalence_parent_only(self) -> float:
         """Share with a defective nameserver among the parent-listed

@@ -49,6 +49,7 @@ discrete-event scheduler (:mod:`repro.net.events`):
 
 from __future__ import annotations
 
+import random
 from collections import deque
 from typing import (
     Any,
@@ -71,6 +72,7 @@ from ..dns.resolver import Resolver
 from ..net.address import IPv4Address
 from ..net.events import PendingExchange
 from ..net.network import Network
+from ..net.resilience import BackoffPolicy, CircuitBreaker, ResilienceCounters
 from .dataset import (
     MeasurementDataset,
     ParentStatus,
@@ -79,10 +81,26 @@ from .dataset import (
     ServerProbe,
 )
 from .ethics import RateLimiter
+from .journal import CampaignJournal, campaign_digest
 
-__all__ = ["ActiveProber", "ProbeConfig"]
+__all__ = ["ActiveProber", "BREAKER_SKIPPED", "ProbeConfig"]
 
 _MAX_WALK = 16
+
+
+class _BreakerSkipped:
+    """Sentinel response for a query series the circuit breaker refused
+    to issue.  Flows through the task machinery in place of a reply so
+    the walk treats it as silence and the sweep records an explicit
+    ``BREAKER_OPEN`` outcome instead of a fabricated timeout."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        return "<breaker skipped>"
+
+
+BREAKER_SKIPPED = _BreakerSkipped()
 
 # Task protocol: a probe task is a generator that yields requests to the
 # campaign driver and is resumed with the request's result.
@@ -103,11 +121,38 @@ class ProbeConfig:
         rate_limit_qps: Optional[float] = 500.0,
         max_in_flight: int = 64,
         zone_cut_caching: bool = True,
+        backoff: Optional[BackoffPolicy] = None,
+        backoff_seed: int = 0,
+        breaker_threshold: Optional[int] = None,
+        breaker_cooldown: float = 900.0,
     ) -> None:
         if timeout <= 0:
-            raise ValueError("timeout must be positive")
+            raise ValueError(f"timeout must be positive, got {timeout}")
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
+        if retry_interval_days <= 0:
+            raise ValueError(
+                f"retry_interval_days must be positive, got "
+                f"{retry_interval_days}"
+            )
+        if rate_limit_qps is not None and rate_limit_qps <= 0:
+            raise ValueError(
+                f"rate_limit_qps must be positive or None, got "
+                f"{rate_limit_qps}"
+            )
         if max_in_flight < 1:
-            raise ValueError("max_in_flight must be at least 1")
+            raise ValueError(
+                f"max_in_flight must be at least 1, got {max_in_flight}"
+            )
+        if breaker_threshold is not None and breaker_threshold < 1:
+            raise ValueError(
+                f"breaker_threshold must be >= 1 or None, got "
+                f"{breaker_threshold}"
+            )
+        if breaker_cooldown <= 0:
+            raise ValueError(
+                f"breaker_cooldown must be positive, got {breaker_cooldown}"
+            )
         self.timeout = timeout
         self.retries = retries
         self.retry_round = retry_round
@@ -115,6 +160,31 @@ class ProbeConfig:
         self.rate_limit_qps = rate_limit_qps
         self.max_in_flight = max_in_flight
         self.zone_cut_caching = zone_cut_caching
+        # Resilience knobs; the defaults (no backoff policy, breaker
+        # disabled) reproduce the historical engine bit for bit.
+        self.backoff = backoff
+        self.backoff_seed = backoff_seed
+        self.breaker_threshold = breaker_threshold
+        self.breaker_cooldown = breaker_cooldown
+
+    def identity(self) -> Dict[str, Any]:
+        """JSON-able summary for the journal's campaign digest."""
+        backoff = self.backoff
+        return {
+            "timeout": self.timeout,
+            "retries": self.retries,
+            "retry_round": self.retry_round,
+            "retry_interval_days": self.retry_interval_days,
+            "rate_limit_qps": self.rate_limit_qps,
+            "max_in_flight": self.max_in_flight,
+            "zone_cut_caching": self.zone_cut_caching,
+            "backoff": None
+            if backoff is None
+            else [backoff.base, backoff.multiplier, backoff.cap, backoff.jitter],
+            "backoff_seed": self.backoff_seed,
+            "breaker_threshold": self.breaker_threshold,
+            "breaker_cooldown": self.breaker_cooldown,
+        }
 
 
 class _SweepBatch:
@@ -295,7 +365,10 @@ class _CampaignDriver:
             if batch.current:
                 probe, address = batch.current[0]
                 existing = probe.outcomes.get(address)
-                if existing is not None and existing != ServerOutcome.TIMEOUT:
+                if (
+                    existing is not None
+                    and existing not in ServerOutcome.SOFT_FAILURES
+                ):
                     batch.current.popleft()
                     continue
                 if address in self._busy:
@@ -328,8 +401,24 @@ class _CampaignDriver:
         on_final: Callable[[Optional[Message]], None],
     ) -> None:
         """Issue one query series (first attempt plus retransmissions)
-        and call ``on_final`` with the eventual response (or None)."""
+        and call ``on_final`` with the eventual response (or None).
+
+        A destination whose circuit breaker is open is not queried at
+        all: the series completes on the next event tick with the
+        :data:`BREAKER_SKIPPED` sentinel (no limiter charge, no query
+        counted — nothing was sent)."""
         prober = self._prober
+        breaker = prober._breaker
+        if breaker is not None and not breaker.allow(address):
+            prober.resilience.breaker_skipped_probes += 1
+            self._in_flight += 1
+
+            def skip() -> None:
+                self._in_flight -= 1
+                on_final(BREAKER_SKIPPED)
+
+            self._scheduler.schedule_in(0.0, skip)
+            return
         if prober._limiter is not None:
             prober._limiter.acquire()
         prober.queries_sent += 1
@@ -338,31 +427,41 @@ class _CampaignDriver:
         self._busy.add(address)
         attempts_left = [self._attempts]
 
+        def retransmit() -> None:
+            self._network.send(
+                address,
+                task.message,
+                source=prober._source,
+                timeout=self._timeout,
+                on_complete=callback,
+            )
+
         def callback(exchange: PendingExchange) -> None:
             attempts_left[0] -= 1
             if exchange.response is None and attempts_left[0] > 0:
-                # Retransmit at the timeout instant, reusing the
-                # already-built query message.
-                self._network.send(
-                    address,
-                    task.message,
-                    source=prober._source,
-                    timeout=self._timeout,
-                    on_complete=callback,
+                # Retransmit, reusing the already-built query message.
+                # With no backoff policy (the default) the retransmit
+                # happens at the timeout instant via a direct re-send —
+                # no extra scheduler event, bit-identical to the
+                # historical engine.
+                prober.resilience.retransmits += 1
+                delay = prober._backoff_delay(
+                    self._attempts - attempts_left[0]
                 )
+                if delay > 0.0:
+                    prober.resilience.backoff_wait_seconds += delay
+                    self._scheduler.schedule_in(delay, retransmit)
+                else:
+                    retransmit()
                 return
+            if breaker is not None:
+                breaker.record_outcome(address, exchange.response is not None)
             self._in_flight -= 1
             self._busy.discard(address)
             self._wake_stalled(address)
             on_final(exchange.response)
 
-        self._network.send(
-            address,
-            task.message,
-            source=prober._source,
-            timeout=self._timeout,
-            on_complete=callback,
-        )
+        retransmit()
 
     def _issue_walk(self, task: _Task, address: IPv4Address) -> None:
         def on_final(response: Optional[Message]) -> None:
@@ -400,11 +499,24 @@ class ActiveProber:
         root_addresses: Iterable[IPv4Address],
         source: IPv4Address,
         config: Optional[ProbeConfig] = None,
+        journal: Optional[CampaignJournal] = None,
     ) -> None:
         self.config = config if config is not None else ProbeConfig()
         self._network = network
         self._clock = network.clock
         self._source = source
+        self._journal = journal
+        self._backoff_rng = random.Random(self.config.backoff_seed)
+        self._breaker = (
+            CircuitBreaker(
+                self._clock,
+                threshold=self.config.breaker_threshold,
+                cooldown=self.config.breaker_cooldown,
+            )
+            if self.config.breaker_threshold is not None
+            else None
+        )
+        self.resilience = ResilienceCounters()
         self._cache = ResolverCache(self._clock)
         self._zone_cuts = (
             ZoneCutCache(self._clock)
@@ -419,6 +531,8 @@ class ActiveProber:
             timeout=self.config.timeout,
             retries=self.config.retries,
             zone_cuts=self._zone_cuts,
+            backoff=self.config.backoff,
+            backoff_rng=self._backoff_rng,
         )
         self._limiter = (
             RateLimiter(self._clock, queries_per_second=self.config.rate_limit_qps)
@@ -426,6 +540,22 @@ class ActiveProber:
             else None
         )
         self.queries_sent = 0
+
+    @property
+    def breaker(self) -> Optional[CircuitBreaker]:
+        """The per-destination circuit breaker (None when disabled)."""
+        return self._breaker
+
+    def _backoff_delay(self, completed_attempts: int) -> float:
+        """Seconds to wait before the next retransmission (0 = now).
+
+        The backoff RNG is separate from the network RNG, so jittered
+        retransmit spacing never perturbs loss/latency draws.
+        """
+        policy = self.config.backoff
+        if policy is None:
+            return 0.0
+        return policy.delay(completed_attempts, self._backoff_rng)
 
     @property
     def zone_cuts(self) -> Optional[ZoneCutCache]:
@@ -483,7 +613,7 @@ class ActiveProber:
                 address = queue.pop(0)
                 issued += 1
                 reply = yield ("query", address)
-                if reply is None:
+                if reply is None or reply is BREAKER_SKIPPED:
                     continue
                 if reply.rcode in (Rcode.REFUSED, Rcode.SERVFAIL):
                     continue
@@ -582,6 +712,9 @@ class ActiveProber:
         domain: DnsName,
         response: Optional[Message],
     ) -> None:
+        if response is BREAKER_SKIPPED:
+            probe.outcomes[address] = ServerOutcome.BREAKER_OPEN
+            return
         outcome = self._classify(response, domain)
         probe.outcomes[address] = outcome
         if outcome == ServerOutcome.ANSWER:
@@ -625,11 +758,28 @@ class ActiveProber:
                 self._collect_child_view(result)
         return result
 
+    # Round-one verdicts the retry round clears before re-querying.
+    # TIMEOUT and BREAKER_OPEN are observations of *our* silence;
+    # SERVFAIL is the server reporting transient inability (an upstream
+    # outage, an expired zone transfer) — all three are
+    # transient-failure-shaped, unlike REFUSED/UPWARD/LAME, which are
+    # configuration statements a day does not change.  The cleared
+    # verdicts are preserved in ``prior_outcomes`` so the analyses can
+    # tell two-round silence (confirmed-dead) from one-round silence.
+    _RETRY_CLEARED = frozenset(
+        {
+            ServerOutcome.TIMEOUT,
+            ServerOutcome.SERVFAIL,
+            ServerOutcome.BREAKER_OPEN,
+        }
+    )
+
     def _retry_task(self, result: ProbeResult) -> _ProbeTask:
         for server in result.servers.values():
-            # Drop timeout verdicts so the sweep re-queries.
+            # Drop transient-shaped verdicts so the sweep re-queries.
             for address, outcome in list(server.outcomes.items()):
-                if outcome == ServerOutcome.TIMEOUT:
+                if outcome in self._RETRY_CLEARED:
+                    server.prior_outcomes[address] = outcome
                     del server.outcomes[address]
             if not server.addresses:
                 # Round one cached an empty address set (e.g. a glueless
@@ -666,7 +816,45 @@ class ActiveProber:
         The retry round (paper §III-B) re-runs the sweep for domains
         whose parent listed nameservers but none answered, after a
         short simulated delay.
+
+        With a :class:`~repro.core.journal.CampaignJournal` attached,
+        every network exchange and completed result is journaled; a
+        resumed journal transparently replays the killed prefix before
+        going live (see :mod:`repro.core.journal`).
         """
+        journal = self._journal
+        if journal is not None:
+            chaos = self._network.chaos
+            journal.begin(
+                self._network,
+                campaign_digest(
+                    targets,
+                    self.config.identity(),
+                    chaos.name if chaos is not None else None,
+                ),
+            )
+            self._network.journal = journal
+        try:
+            dataset = self._probe_all_inner(targets, journal)
+        except BaseException:
+            # Abort path (including the kill-at-event harness): close
+            # without a final checkpoint — every line already written
+            # was flushed, which is all a killed process would have.
+            if journal is not None:
+                journal.close()
+            raise
+        else:
+            if journal is not None:
+                journal.finish(self._network)
+            return dataset
+        finally:
+            self._network.journal = None
+
+    def _probe_all_inner(
+        self,
+        targets: Dict[DnsName, str],
+        journal: Optional[CampaignJournal],
+    ) -> MeasurementDataset:
         order = sorted(targets)
         driver = _CampaignDriver(self)
         probed = driver.run(
@@ -683,24 +871,36 @@ class ActiveProber:
             result.queries_sent = queries
             results[domain] = result
 
+        needs_retry: List[ProbeResult] = []
         if self.config.retry_round:
             needs_retry = [
                 r
                 for r in results.values()
                 if r.parent_nonempty and not r.responsive
             ]
-            if needs_retry:
-                self._clock.advance(
-                    self.config.retry_interval_days * 86_400
-                )
-                retry_driver = _CampaignDriver(self)
-                retry_driver.run(
-                    [
-                        (
-                            self._retry_task(result),
-                            make_query(result.domain, RRType.NS),
-                        )
-                        for result in needs_retry
-                    ]
-                )
+        if journal is not None:
+            # Round-one results are final unless the retry round will
+            # mutate them; those are journaled after the retry.
+            retry_set = {id(r) for r in needs_retry}
+            for domain in order:
+                result = results[domain]
+                if id(result) not in retry_set:
+                    journal.record_result(self._network, result)
+        if needs_retry:
+            self._clock.advance(
+                self.config.retry_interval_days * 86_400
+            )
+            retry_driver = _CampaignDriver(self)
+            retry_driver.run(
+                [
+                    (
+                        self._retry_task(result),
+                        make_query(result.domain, RRType.NS),
+                    )
+                    for result in needs_retry
+                ]
+            )
+            if journal is not None:
+                for result in needs_retry:
+                    journal.record_result(self._network, result)
         return MeasurementDataset(results)

@@ -14,11 +14,13 @@ failures (timeout vs refusal vs lame referral) without re-probing.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..net.address import IPv4Address
 from ..net.network import Network, QueryTimeout
+from ..net.resilience import BackoffPolicy
 from .cache import ResolverCache, ZoneCutCache
 from .errors import NoNameservers, ResolutionLoop
 from .message import Message, Rcode, make_query
@@ -90,9 +92,13 @@ class Resolver:
         timeout: float = 3.0,
         retries: int = 1,
         zone_cuts: Optional[ZoneCutCache] = None,
+        backoff: Optional[BackoffPolicy] = None,
+        backoff_rng: Optional[random.Random] = None,
     ) -> None:
         if not root_addresses:
             raise ValueError("at least one root hint is required")
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
         self._network = network
         self._roots = tuple(root_addresses)
         self._cache = cache
@@ -100,6 +106,13 @@ class Resolver:
         self._timeout = timeout
         self._retries = retries
         self._zone_cuts = zone_cuts
+        # Exponential spacing between retransmissions; None keeps the
+        # historical immediate retransmit.  The RNG (for jitter) is
+        # caller-supplied so the prober can share one seeded stream.
+        self._backoff = backoff
+        self._backoff_rng = (
+            backoff_rng if backoff_rng is not None else random.Random(0)
+        )
 
     @property
     def roots(self) -> Tuple[IPv4Address, ...]:
@@ -124,12 +137,19 @@ class Resolver:
         """
         attempts = 1 + (retries if retries is not None else self._retries)
         query = make_query(qname, qtype)
-        for _ in range(attempts):
+        for attempt in range(1, attempts + 1):
             try:
                 return self._network.query(
                     server, query, source=self._source, timeout=self._timeout
                 )
             except QueryTimeout:
+                if attempt < attempts and self._backoff is not None:
+                    # Exponential (jittered) spacing before the next
+                    # retransmission; blocking callers charge it to the
+                    # simulated clock directly.
+                    delay = self._backoff.delay(attempt, self._backoff_rng)
+                    if delay > 0.0:
+                        self._network.clock.advance(delay)
                 continue
         return None
 

@@ -18,6 +18,8 @@ DNS semantics
             :class:`repro.dns.name.DnsName` should be used
 ``RES001``  ``Resolver`` construction / ``Network.query`` call sites
             without explicit timeout/retry policy
+``RES002``  retry loops that never bound their attempts or that wait a
+            fixed constant between attempts instead of backing off
 """
 
 from __future__ import annotations
@@ -37,6 +39,7 @@ __all__ = [
     "SilentExceptRule",
     "StringDnsComparisonRule",
     "MissingTimeoutRetryRule",
+    "RetryBackoffRule",
 ]
 
 
@@ -405,6 +408,130 @@ class MissingTimeoutRetryRule(Rule):
                 )
 
 
+class RetryBackoffRule(Rule):
+    """RES002: retry loops must bound attempts and back off adaptively.
+
+    A loop that catches a failure and ``continue``s is a retry loop.
+    Two shapes make such a loop hostile to both the measured
+    infrastructure and the campaign's own tail latency:
+
+    * ``while True`` with no attempt bound — the success path exits,
+      but a *persistently* failing destination is hammered forever;
+    * a fixed constant wait between attempts — synchronized retries
+      re-arrive in lockstep, exactly what rate limiters punish.
+
+    :class:`repro.net.resilience.BackoffPolicy` is the sanctioned
+    spacing (exponential growth, seeded jitter, a cap); attempt bounds
+    belong in ``ProbeConfig.retries``.  Only the loop's own level is
+    inspected — nested loops and function definitions get their own
+    visit — and each loop yields at most one finding.
+    """
+
+    rule_id = "RES002"
+    description = (
+        "retry loop with unbounded attempts or a fixed inter-attempt "
+        "wait; bound attempts and use exponential backoff with jitter"
+    )
+    severity = Severity.WARNING
+    interests = (ast.For, ast.While)
+
+    # Subtrees owned by another scope/visit; the shallow walk yields
+    # these nodes but does not descend into them.
+    _NESTED_SCOPES = (
+        ast.For,
+        ast.AsyncFor,
+        ast.While,
+        ast.FunctionDef,
+        ast.AsyncFunctionDef,
+        ast.ClassDef,
+        ast.Lambda,
+    )
+
+    _WAIT_ATTRS = frozenset({"sleep", "advance"})
+
+    @classmethod
+    def _shallow(cls, statements: List[ast.stmt]) -> Iterator[ast.AST]:
+        """Walk a loop body without entering nested loops or defs."""
+        stack: List[ast.AST] = list(statements)
+        while stack:
+            node = stack.pop()
+            yield node
+            if isinstance(node, cls._NESTED_SCOPES):
+                continue
+            stack.extend(ast.iter_child_nodes(node))
+
+    @classmethod
+    def _is_retry_shaped(cls, loop: ast.stmt) -> bool:
+        """Does the loop catch an exception and continue to retry?"""
+        assert isinstance(loop, (ast.For, ast.While))
+        for node in cls._shallow(loop.body):
+            if not isinstance(node, ast.Try):
+                continue
+            for handler in node.handlers:
+                if any(
+                    isinstance(inner, ast.Continue)
+                    for inner in cls._shallow(handler.body)
+                ):
+                    return True
+        return False
+
+    def _fixed_wait(
+        self, loop: ast.stmt
+    ) -> Optional[Tuple[ast.Call, float]]:
+        """A ``sleep``/``advance`` call with a constant positive arg."""
+        assert isinstance(loop, (ast.For, ast.While))
+        for node in self._shallow(loop.body):
+            if not isinstance(node, ast.Call) or not node.args:
+                continue
+            func = node.func
+            if isinstance(func, ast.Attribute):
+                name = func.attr
+            elif isinstance(func, ast.Name):
+                name = func.id
+            else:
+                continue
+            if name not in self._WAIT_ATTRS:
+                continue
+            first = node.args[0]
+            if (
+                isinstance(first, ast.Constant)
+                and isinstance(first.value, (int, float))
+                and not isinstance(first.value, bool)
+                and first.value > 0
+            ):
+                return node, float(first.value)
+        return None
+
+    def visit(self, node: ast.AST, ctx: ModuleContext) -> Iterator[Finding]:
+        assert isinstance(node, (ast.For, ast.While))
+        if not self._is_retry_shaped(node):
+            return
+        if (
+            isinstance(node, ast.While)
+            and isinstance(node.test, ast.Constant)
+            and bool(node.test.value)
+        ):
+            # A success exit does not bound the failure path.
+            yield self.finding(
+                node,
+                ctx,
+                "while-True retry loop never bounds failed attempts; a "
+                "persistently failing destination is retried forever — "
+                "bound the attempts and surface exhaustion as an outcome",
+            )
+            return
+        wait = self._fixed_wait(node)
+        if wait is not None:
+            call, seconds = wait
+            yield self.finding(
+                call,
+                ctx,
+                f"retry loop waits a fixed {seconds:g}s between attempts; "
+                "synchronized retries arrive in lockstep — use "
+                "BackoffPolicy (exponential growth with seeded jitter)",
+            )
+
+
 ALL_RULES: Tuple[Type[Rule], ...] = (
     WallClockRule,
     GlobalRandomRule,
@@ -412,4 +539,5 @@ ALL_RULES: Tuple[Type[Rule], ...] = (
     SilentExceptRule,
     StringDnsComparisonRule,
     MissingTimeoutRetryRule,
+    RetryBackoffRule,
 )

@@ -1,6 +1,17 @@
 """Simulated internetwork substrate: addresses, time, latency, delivery."""
 
 from .address import BlockAllocator, IPv4Address, IPv4Prefix, parse_ipv4
+from .chaos import (
+    PROFILES as CHAOS_PROFILES,
+    ChaosDecision,
+    ChaosStats,
+    FaultSchedule,
+    LatencyBrownout,
+    LossBurst,
+    OutageWindow,
+    RateLimitRule,
+    build_profile,
+)
 from .clock import (
     SECONDS_PER_DAY,
     SimulatedClock,
@@ -9,7 +20,7 @@ from .clock import (
     epoch_to_date,
     year_bounds,
 )
-from .events import EventScheduler, PendingExchange
+from .events import CampaignAborted, EventScheduler, PendingExchange
 from .latency import FixedLatency, LatencyModel, LogNormalLatency
 from .network import (
     FunctionHost,
@@ -19,18 +30,34 @@ from .network import (
     NetworkStats,
     QueryTimeout,
 )
+from .resilience import (
+    BackoffPolicy,
+    BreakerState,
+    CircuitBreaker,
+    ResilienceCounters,
+)
 
 __all__ = [
     "BlockAllocator",
     "IPv4Address",
     "IPv4Prefix",
     "parse_ipv4",
+    "CHAOS_PROFILES",
+    "ChaosDecision",
+    "ChaosStats",
+    "FaultSchedule",
+    "LatencyBrownout",
+    "LossBurst",
+    "OutageWindow",
+    "RateLimitRule",
+    "build_profile",
     "SECONDS_PER_DAY",
     "SimulatedClock",
     "date_to_epoch",
     "days_in_year",
     "epoch_to_date",
     "year_bounds",
+    "CampaignAborted",
     "EventScheduler",
     "PendingExchange",
     "FixedLatency",
@@ -42,4 +69,8 @@ __all__ = [
     "NetworkError",
     "NetworkStats",
     "QueryTimeout",
+    "BackoffPolicy",
+    "BreakerState",
+    "CircuitBreaker",
+    "ResilienceCounters",
 ]

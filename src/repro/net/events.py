@@ -38,7 +38,23 @@ from typing import Any, Callable, List, Optional, Tuple
 from .address import IPv4Address
 from .clock import SimulatedClock
 
-__all__ = ["EventScheduler", "PendingExchange"]
+__all__ = ["CampaignAborted", "EventScheduler", "PendingExchange"]
+
+
+class CampaignAborted(RuntimeError):
+    """Raised by the kill-at-event harness when the event budget runs out.
+
+    The chaos test suite (and the CLI's ``--kill-at-event``) uses this to
+    simulate a campaign process dying at an arbitrary instant: the
+    scheduler refuses to fire event ``abort_after + 1``, unwinding the
+    campaign mid-flight exactly as ``kill -9`` would — except the
+    already-written journal lines remain for :mod:`repro.core.journal`
+    to resume from.
+    """
+
+    def __init__(self, fired: int) -> None:
+        super().__init__(f"campaign aborted after {fired} events")
+        self.fired = fired
 
 
 class EventScheduler:
@@ -57,6 +73,9 @@ class EventScheduler:
         self._heap: List[Tuple[float, int, Callable[[], None]]] = []
         self._seq = 0
         self.fired = 0
+        # Kill-at-event harness: when set, run_next raises
+        # CampaignAborted instead of firing once `fired` reaches it.
+        self.abort_after: Optional[int] = None
 
     def __len__(self) -> int:
         return len(self._heap)
@@ -90,6 +109,8 @@ class EventScheduler:
         """
         if not self._heap:
             return False
+        if self.abort_after is not None and self.fired >= self.abort_after:
+            raise CampaignAborted(self.fired)
         due_time, _, action = heapq.heappop(self._heap)
         if due_time > self._clock.now:
             self._clock.set(due_time)

@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Optional
 
 from .address import IPv4Address
+from .chaos import FaultSchedule
 from .clock import SimulatedClock
 from .events import EventScheduler, PendingExchange
 from .latency import FixedLatency, LatencyModel
@@ -113,13 +114,18 @@ class Network:
         default_latency: Optional[LatencyModel] = None,
         flaky_share: float = 0.0,
         flaky_loss_rate: float = 0.5,
+        flaky_seed: int = 0,
     ) -> None:
         """``flaky_share``/``flaky_loss_rate``: at attach time, that
         share of hosts (those without an explicit loss rate) gets the
         given loss rate — the transient-failure population that the
-        probe's retry round exists to absorb."""
+        probe's retry round exists to absorb.  Which hosts are flaky is
+        a pure function of ``(flaky_seed, address)``: the same seed
+        yields the same flaky set no matter the attach order."""
         if not 0.0 <= flaky_share <= 1.0:
             raise ValueError(f"flaky share out of range: {flaky_share}")
+        if not 0.0 <= flaky_loss_rate < 1.0:
+            raise ValueError(f"flaky loss rate out of range: {flaky_loss_rate}")
         self.clock = clock if clock is not None else SimulatedClock()
         self._rng = rng if rng is not None else random.Random(0)
         self._default_latency = (
@@ -127,9 +133,17 @@ class Network:
         )
         self._flaky_share = flaky_share
         self._flaky_loss_rate = flaky_loss_rate
+        self._flaky_seed = flaky_seed
         self._attachments: Dict[IPv4Address, _Attachment] = {}
         self.stats = NetworkStats()
         self.events = EventScheduler(self.clock)
+        # Optional fault-injection schedule consulted at send time.
+        self.chaos: Optional[FaultSchedule] = None
+        # Optional checkpoint/resume tap (see repro.core.journal): an
+        # object with replay_send(network) and record_send(network,
+        # kind, delay).  Typed loosely because the journal lives above
+        # the net layer.
+        self.journal: Optional[Any] = None
 
     # ------------------------------------------------------------------
     # Topology management
@@ -154,7 +168,7 @@ class Network:
         if (
             loss_rate == 0.0
             and self._flaky_share
-            and self._rng.random() < self._flaky_share
+            and self._flaky_draw(address) < self._flaky_share
         ):
             loss_rate = self._flaky_loss_rate
         self._attachments[address] = _Attachment(
@@ -186,6 +200,28 @@ class Network:
     def addresses(self) -> list[IPv4Address]:
         return list(self._attachments)
 
+    def effective_loss_rate(self, address: IPv4Address) -> float:
+        """The attachment's loss rate after flaky-population selection."""
+        return self._attachments[address].loss_rate
+
+    def _flaky_draw(self, address: IPv4Address) -> float:
+        # Per-address seeded draw: flakiness must not depend on attach
+        # order, or two structurally identical worlds built in different
+        # orders would disagree on which hosts misbehave.
+        mix = (self._flaky_seed * 0x9E3779B97F4A7C15 + address.value) & (
+            (1 << 64) - 1
+        )
+        return random.Random(mix).random()
+
+    # ------------------------------------------------------------------
+    # Checkpoint support (see repro.core.journal)
+    # ------------------------------------------------------------------
+    def rng_state(self) -> Any:
+        return self._rng.getstate()
+
+    def restore_rng_state(self, state: Any) -> None:
+        self._rng.setstate(state)
+
     # ------------------------------------------------------------------
     # Delivery
     # ------------------------------------------------------------------
@@ -216,21 +252,28 @@ class Network:
         response: Optional[Any] = None
         delay = timeout
         attachment = self._attachments.get(destination)
-        if attachment is not None and attachment.up:
-            lost = (
-                attachment.loss_rate
-                and self._rng.random() < attachment.loss_rate
+        reachable = attachment is not None and attachment.up
+        journal = self.journal
+        entry = journal.replay_send(self) if journal is not None else None
+        if entry is not None:
+            response, delay = self._replay_outcome(
+                entry,
+                destination,
+                payload,
+                src,
+                attachment if reachable else None,
+                timeout,
             )
-            if lost:
-                self.stats.datagrams_lost += 1
+        else:
+            if reachable:
+                assert attachment is not None
+                response, delay, kind = self._live_outcome(
+                    destination, payload, src, attachment, timeout
+                )
             else:
-                latency = attachment.latency or self._default_latency
-                rtt = latency.sample(self._rng) + latency.sample(self._rng)
-                if rtt < timeout:
-                    reply = attachment.host.handle_datagram(payload, src)
-                    if reply is not None:
-                        response = reply
-                        delay = rtt
+                kind = "t"
+            if journal is not None:
+                journal.record_send(self, kind, delay)
 
         exchange = PendingExchange(
             destination=destination,
@@ -242,6 +285,111 @@ class Network:
         )
         self.events.schedule_at(exchange.due_time, self._deliver(exchange))
         return exchange
+
+    def _live_outcome(
+        self,
+        destination: IPv4Address,
+        payload: Any,
+        src: IPv4Address,
+        attachment: _Attachment,
+        timeout: float,
+    ) -> "tuple[Optional[Any], float, str]":
+        """Draw one exchange's fate: ``(response, delay, journal kind)``.
+
+        Kind is ``"a"`` (answered), ``"r"`` (chaos refusal), or ``"t"``
+        (silence) — the alphabet the checkpoint journal records.  With
+        no chaos schedule installed this is byte-identical (same RNG
+        draws, same order) to the historical send path.
+        """
+        chaos = self.chaos
+        decision = None
+        if chaos is not None:
+            decision = chaos.admit(destination, self.clock.now)
+            if decision.outage:
+                return None, timeout, "t"
+            if decision.refuse:
+                # A refusing server still answers — charge a round-trip
+                # (sampled exactly like a normal response) plus any
+                # brownout surcharge.
+                latency = attachment.latency or self._default_latency
+                rtt = (
+                    latency.sample(self._rng)
+                    + latency.sample(self._rng)
+                    + decision.extra_latency
+                )
+                refusal = chaos.refusal(payload)
+                if refusal is not None and rtt < timeout:
+                    return refusal, rtt, "r"
+                return None, timeout, "t"
+        lost = (
+            attachment.loss_rate and self._rng.random() < attachment.loss_rate
+        )
+        if not lost and decision is not None and decision.loss_rate:
+            assert chaos is not None
+            lost = chaos.draw_loss(decision.loss_rate)
+        if lost:
+            self.stats.datagrams_lost += 1
+            return None, timeout, "t"
+        latency = attachment.latency or self._default_latency
+        rtt = latency.sample(self._rng) + latency.sample(self._rng)
+        if decision is not None:
+            rtt += decision.extra_latency
+        if rtt < timeout:
+            reply = attachment.host.handle_datagram(payload, src)
+            if reply is not None:
+                return reply, rtt, "a"
+        return None, timeout, "t"
+
+    def _replay_outcome(
+        self,
+        entry: "tuple[str, float]",
+        destination: IPv4Address,
+        payload: Any,
+        src: IPv4Address,
+        attachment: Optional[_Attachment],
+        timeout: float,
+    ) -> "tuple[Optional[Any], float]":
+        """Re-enact a journaled exchange without consuming randomness.
+
+        Hosts are pure functions of their zones, so answered exchanges
+        re-invoke the host (cheap, and keeps payload-shaped state like
+        caches warm); loss/latency draws are replaced by the recorded
+        outcome.  Stateful chaos rate-limit windows are kept warm via
+        ``note_arrival`` under exactly the live path's preconditions.
+        Divergence (the world does not match the journal) raises
+        :class:`NetworkError` rather than silently corrupting the run.
+        """
+        kind, delay = entry
+        chaos = self.chaos
+        if (
+            attachment is not None
+            and chaos is not None
+            and not chaos.in_outage(destination, self.clock.now)
+        ):
+            chaos.note_arrival(destination, self.clock.now)
+        if kind == "a":
+            reply = (
+                attachment.host.handle_datagram(payload, src)
+                if attachment is not None
+                else None
+            )
+            if reply is None:
+                raise NetworkError(
+                    f"journal replay diverged: {destination} answered in the "
+                    f"recorded run but is silent now (world mismatch?)"
+                )
+            return reply, delay
+        if kind == "r":
+            refusal = chaos.refusal(payload) if chaos is not None else None
+            if refusal is None:
+                raise NetworkError(
+                    f"journal replay diverged: recorded refusal from "
+                    f"{destination} but no chaos refusal factory is installed"
+                )
+            return refusal, delay
+        if kind != "t":
+            raise NetworkError(f"journal replay: unknown send kind {kind!r}")
+        return None, timeout
 
     def _deliver(self, exchange: PendingExchange) -> Callable[[], None]:
         """Completion event: settle stats, then surface the exchange."""

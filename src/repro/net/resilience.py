@@ -1,0 +1,195 @@
+"""Client-side resilience primitives: adaptive backoff and circuit
+breakers.
+
+The paper's pipeline absorbs transient failure with a blunt instrument —
+one retransmission plus a next-day retry round (§III-B).  Running the
+same methodology at production scale needs two finer-grained controls,
+both standard in large measurement systems (ZDNS keeps per-destination
+failure budgets for the same reason):
+
+:class:`BackoffPolicy`
+    Exponential spacing between retransmissions to the same address,
+    with seeded jitter so synchronized probes do not retransmit in
+    lockstep.  The policy object is frozen configuration; callers pass
+    their own seeded :class:`random.Random` so draws stay inside the
+    caller's deterministic event order.
+
+:class:`CircuitBreaker`
+    Per-destination failure accounting: after ``threshold`` consecutive
+    query-series timeouts the address is *open* (probes are skipped and
+    recorded as explicit ``BREAKER_OPEN`` outcomes, never silently
+    dropped) for ``cooldown`` simulated seconds, then *half-open* — one
+    probe is let through, and its outcome closes or re-opens the
+    circuit.  This is §III-D politeness made adaptive: dead
+    infrastructure is probed a bounded number of times per cool-down
+    instead of once per domain that lists it.
+
+Both are off by default everywhere; the serial golden dataset is only
+reachable when neither intervenes.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict
+
+from .address import IPv4Address
+from .clock import SimulatedClock
+
+__all__ = [
+    "BackoffPolicy",
+    "BreakerState",
+    "CircuitBreaker",
+    "ResilienceCounters",
+]
+
+
+@dataclass(frozen=True)
+class BackoffPolicy:
+    """Exponential backoff between retransmissions.
+
+    The delay before retransmission ``attempt + 1`` (``attempt`` counts
+    completed, timed-out transmissions, starting at 1) is::
+
+        min(cap, base * multiplier ** (attempt - 1)) * (1 + jitter * u)
+
+    where ``u`` is drawn uniformly from ``[0, 1)`` on the caller's RNG.
+    ``base = 0`` reproduces the historical immediate retransmit.
+    """
+
+    base: float = 0.0
+    multiplier: float = 2.0
+    cap: float = 30.0
+    jitter: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.base < 0:
+            raise ValueError(f"backoff base must be >= 0, got {self.base}")
+        if self.multiplier < 1.0:
+            raise ValueError(
+                f"backoff multiplier must be >= 1, got {self.multiplier}"
+            )
+        if self.cap < self.base:
+            raise ValueError(
+                f"backoff cap {self.cap} must be >= base {self.base}"
+            )
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError(f"jitter must be in [0, 1], got {self.jitter}")
+
+    def delay(self, attempt: int, rng: random.Random) -> float:
+        """Seconds to wait after the ``attempt``-th timed-out send."""
+        if attempt < 1:
+            raise ValueError(f"attempt must be >= 1, got {attempt}")
+        if self.base == 0.0:
+            return 0.0
+        spacing = min(self.cap, self.base * self.multiplier ** (attempt - 1))
+        if self.jitter:
+            spacing *= 1.0 + self.jitter * rng.random()
+        return spacing
+
+
+class BreakerState:
+    """Circuit-breaker states for one destination address."""
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+
+class _BreakerEntry:
+    __slots__ = ("failures", "state", "open_until")
+
+    def __init__(self) -> None:
+        self.failures = 0
+        self.state = BreakerState.CLOSED
+        self.open_until = 0.0
+
+
+class CircuitBreaker:
+    """Per-destination consecutive-timeout circuit breaker.
+
+    All state transitions are functions of (event order, simulated
+    clock), so a breaker-enabled campaign is exactly as deterministic
+    as one without.
+    """
+
+    def __init__(
+        self, clock: SimulatedClock, threshold: int, cooldown: float
+    ) -> None:
+        if threshold < 1:
+            raise ValueError(f"breaker threshold must be >= 1, got {threshold}")
+        if cooldown <= 0:
+            raise ValueError(f"breaker cooldown must be positive, got {cooldown}")
+        self._clock = clock
+        self.threshold = threshold
+        self.cooldown = cooldown
+        self._entries: Dict[IPv4Address, _BreakerEntry] = {}
+        self.trips = 0
+        self.skips = 0
+
+    def state_of(self, address: IPv4Address) -> str:
+        entry = self._entries.get(address)
+        return entry.state if entry is not None else BreakerState.CLOSED
+
+    def allow(self, address: IPv4Address) -> bool:
+        """May a query series be issued to this address right now?
+
+        An open circuit whose cool-down has elapsed flips to half-open
+        and admits the caller's probe (the re-probe that decides whether
+        the address recovered).
+        """
+        entry = self._entries.get(address)
+        if entry is None or entry.state == BreakerState.CLOSED:
+            return True
+        if entry.state == BreakerState.HALF_OPEN:
+            # The half-open probe is already in flight (per-destination
+            # politeness allows only one); further callers skip.
+            self.skips += 1
+            return False
+        if self._clock.now >= entry.open_until:
+            entry.state = BreakerState.HALF_OPEN
+            return True
+        self.skips += 1
+        return False
+
+    def record_outcome(self, address: IPv4Address, responded: bool) -> None:
+        """Feed one completed query series (any response vs. silence)."""
+        if responded:
+            self._entries.pop(address, None)
+            return
+        entry = self._entries.get(address)
+        if entry is None:
+            entry = self._entries[address] = _BreakerEntry()
+        entry.failures += 1
+        if (
+            entry.state == BreakerState.HALF_OPEN
+            or entry.failures >= self.threshold
+        ):
+            entry.state = BreakerState.OPEN
+            entry.open_until = self._clock.now + self.cooldown
+            self.trips += 1
+
+    def open_count(self) -> int:
+        """How many addresses are currently open or half-open."""
+        return sum(
+            1
+            for entry in self._entries.values()
+            if entry.state != BreakerState.CLOSED
+        )
+
+
+@dataclass
+class ResilienceCounters:
+    """Prober-side resilience bookkeeping surfaced by ``repro.report``."""
+
+    retransmits: int = 0
+    backoff_wait_seconds: float = 0.0
+    breaker_skipped_probes: int = 0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "retransmits": float(self.retransmits),
+            "backoff_wait_seconds": self.backoff_wait_seconds,
+            "breaker_skipped_probes": float(self.breaker_skipped_probes),
+        }

@@ -179,6 +179,7 @@ class WorldGenerator:
             default_latency=FixedLatency(0.004),
             flaky_share=config.flaky_server_share,
             flaky_loss_rate=config.flaky_loss_rate,
+            flaky_seed=config.seed,
         )
         self._network = network
         self._asn_registry = AsnRegistry()

@@ -108,3 +108,86 @@ class TestCliExecution:
         code, text = self.run_cli(self.SMALL + ["remediate"])
         assert code == 0
         assert "any defective" in text
+
+
+class TestCliCampaign:
+    SMALL = ["--scale", "0.002", "--seed", "11"]
+
+    def run_cli(self, argv):
+        out = io.StringIO()
+        code = main(argv, out=out)
+        return code, out.getvalue()
+
+    @staticmethod
+    def digest_line(text):
+        lines = [
+            line for line in text.splitlines()
+            if line.startswith("dataset-digest:")
+        ]
+        assert len(lines) == 1
+        return lines[0]
+
+    def test_campaign_prints_digest_and_counters(self):
+        code, text = self.run_cli(self.SMALL + ["campaign"])
+        assert code == 0
+        assert self.digest_line(text)
+        assert "retransmits" in text
+
+    def test_campaign_chaos_is_reproducible(self, tmp_path):
+        code, first = self.run_cli(self.SMALL + ["campaign", "--chaos", "flaky"])
+        assert code == 0
+        code, second = self.run_cli(
+            self.SMALL + [
+                "campaign", "--chaos", "flaky",
+                "--resilience-out", str(tmp_path / "res.json"),
+            ]
+        )
+        assert code == 0
+        assert self.digest_line(first) == self.digest_line(second)
+        assert (tmp_path / "res.json").exists()
+
+    def test_campaign_kill_then_resume_matches(self, tmp_path):
+        journal = str(tmp_path / "run.jsonl")
+        code, baseline = self.run_cli(self.SMALL + ["campaign"])
+        assert code == 0
+        code, killed = self.run_cli(
+            self.SMALL + [
+                "campaign", "--journal", journal, "--kill-at-event", "400",
+            ]
+        )
+        assert code == 0
+        assert "campaign killed" in killed
+        code, resumed = self.run_cli(
+            self.SMALL + ["campaign", "--resume", journal]
+        )
+        assert code == 0
+        assert self.digest_line(resumed) == self.digest_line(baseline)
+
+    def test_campaign_resume_wrong_seed_is_refused(self, tmp_path):
+        journal = str(tmp_path / "run.jsonl")
+        code, _ = self.run_cli(
+            self.SMALL + [
+                "campaign", "--journal", journal, "--kill-at-event", "400",
+            ]
+        )
+        assert code == 0
+        code, text = self.run_cli(
+            ["--scale", "0.002", "--seed", "12", "campaign", "--resume", journal]
+        )
+        assert code == 2
+        assert "campaign mismatch" in text
+
+    def test_journal_and_resume_mutually_exclusive(self, tmp_path):
+        code, text = self.run_cli(
+            self.SMALL + [
+                "campaign",
+                "--journal", str(tmp_path / "a.jsonl"),
+                "--resume", str(tmp_path / "b.jsonl"),
+            ]
+        )
+        assert code == 2
+        assert "mutually exclusive" in text
+
+    def test_unknown_chaos_profile_rejected_by_parser(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["campaign", "--chaos", "meteor"])

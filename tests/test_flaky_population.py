@@ -1,0 +1,188 @@
+"""The flaky-host population: order-independent selection, and the
+§III-B retry round measurably recovering flaky-only domains.
+
+Which hosts are flaky must be a pure function of ``(flaky_seed,
+address)`` — never of attach order — or two structurally identical
+worlds built in different orders would disagree about which servers
+misbehave, and a resumed campaign would face a different network than
+the one its journal recorded.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.probe import ActiveProber, ProbeConfig
+from repro.dns import A, AuthoritativeServer, DnsName, NS, SOA, Zone
+from repro.net import IPv4Address, Network
+from repro.net.network import FunctionHost
+
+IP = IPv4Address.parse
+NAME = DnsName.parse
+
+ADDRESSES = [IP(f"10.2.{i // 256}.{i % 256}") for i in range(40)]
+
+
+def _noop_host():
+    return FunctionHost(lambda payload, src: None)
+
+
+class TestFlakySelection:
+    def test_same_seed_same_set_regardless_of_attach_order(self):
+        forward = Network(flaky_share=0.5, flaky_seed=42)
+        backward = Network(flaky_share=0.5, flaky_seed=42)
+        for address in ADDRESSES:
+            forward.attach(address, _noop_host())
+        for address in reversed(ADDRESSES):
+            backward.attach(address, _noop_host())
+        rates_forward = {
+            a: forward.effective_loss_rate(a) for a in ADDRESSES
+        }
+        rates_backward = {
+            a: backward.effective_loss_rate(a) for a in ADDRESSES
+        }
+        assert rates_forward == rates_backward
+        flaky = {a for a, rate in rates_forward.items() if rate > 0.0}
+        # The population is a real mix at share=0.5.
+        assert flaky and flaky != set(ADDRESSES)
+
+    def test_different_seed_different_set(self):
+        def flaky_set(seed):
+            net = Network(flaky_share=0.5, flaky_seed=seed)
+            for address in ADDRESSES:
+                net.attach(address, _noop_host())
+            return {
+                a for a in ADDRESSES if net.effective_loss_rate(a) > 0.0
+            }
+
+        assert flaky_set(1) != flaky_set(2)
+
+    def test_share_zero_selects_nobody(self):
+        net = Network(flaky_share=0.0, flaky_seed=42)
+        for address in ADDRESSES:
+            net.attach(address, _noop_host())
+        assert all(net.effective_loss_rate(a) == 0.0 for a in ADDRESSES)
+
+    def test_explicit_loss_rate_wins_over_flaky_selection(self):
+        net = Network(flaky_share=1.0, flaky_seed=42)
+        net.attach(ADDRESSES[0], _noop_host(), loss_rate=0.1)
+        assert net.effective_loss_rate(ADDRESSES[0]) == 0.1
+
+    def test_flaky_uses_default_loss_rate(self):
+        net = Network(flaky_share=1.0, flaky_seed=42)
+        net.attach(ADDRESSES[0], _noop_host())
+        assert net.effective_loss_rate(ADDRESSES[0]) == 0.5
+
+
+# ----------------------------------------------------------------------
+# Retry-round recovery over a flaky world
+# ----------------------------------------------------------------------
+ROOT_ADDRESS = IP("198.41.0.4")
+TLD_ADDRESS = IP("1.0.0.1")
+SHARED_ADDRESS = IP("5.0.0.1")
+DOMAIN_COUNT = 10
+
+
+def _flaky_only_target_seed():
+    """A flaky seed under which the shared NS address is flaky but the
+    resolution path (root + TLD) is clean — the flaky-*only* shape."""
+    for seed in range(1000):
+        net = Network(flaky_share=0.3, flaky_seed=seed)
+        for address in (ROOT_ADDRESS, TLD_ADDRESS, SHARED_ADDRESS):
+            net.attach(address, _noop_host())
+        if (
+            net.effective_loss_rate(SHARED_ADDRESS) > 0.0
+            and net.effective_loss_rate(ROOT_ADDRESS) == 0.0
+            and net.effective_loss_rate(TLD_ADDRESS) == 0.0
+        ):
+            return seed
+    raise AssertionError("no suitable flaky seed in range")
+
+
+def _build_flaky_world(flaky_seed):
+    """``d{i}.test.`` all served by one (flaky) nameserver address; the
+    default ``flaky_loss_rate`` applies to it and nothing else."""
+    network = Network(flaky_share=0.3, flaky_seed=flaky_seed)
+
+    root_zone = Zone(NAME("."))
+    root_zone.add_records(NAME("."), NS(NAME("a.root-servers.net.")))
+    root_zone.add_records(NAME("test."), NS(NAME("ns.test.")))
+    root_zone.add_records(NAME("ns.test."), A(TLD_ADDRESS))
+    root_server = AuthoritativeServer(NAME("a.root-servers.net."))
+    root_server.load_zone(root_zone)
+    network.attach(ROOT_ADDRESS, root_server)
+
+    tld_zone = Zone(NAME("test."))
+    tld_zone.add_records(NAME("test."), NS(NAME("ns.test.")))
+    tld_zone.add_records(
+        NAME("test."), SOA(NAME("ns.test."), NAME("hostmaster.test."))
+    )
+    tld_zone.add_records(NAME("ns.test."), A(TLD_ADDRESS))
+
+    # Every domain gets its own (in-zone) NS hostname, but all of them
+    # resolve to the single shared — and flaky — server address.
+    shared_server = AuthoritativeServer(NAME("ns.shared.test."))
+    domains = []
+    for i in range(DOMAIN_COUNT):
+        domain = NAME(f"d{i}.test.")
+        ns_name = NAME(f"ns.d{i}.test.")
+        tld_zone.add_records(domain, NS(ns_name))
+        tld_zone.add_records(ns_name, A(SHARED_ADDRESS))
+        zone = Zone(domain)
+        zone.add_records(domain, NS(ns_name))
+        zone.add_records(
+            domain, SOA(ns_name, NAME(f"hostmaster.{domain}"))
+        )
+        zone.add_records(ns_name, A(SHARED_ADDRESS))
+        shared_server.load_zone(zone)
+        domains.append(domain)
+    tld_server = AuthoritativeServer(NAME("ns.test."))
+    tld_server.load_zone(tld_zone)
+    network.attach(TLD_ADDRESS, tld_server)
+    network.attach(SHARED_ADDRESS, shared_server)
+    return network, domains
+
+
+def _run(flaky_seed, retry_round):
+    network, domains = _build_flaky_world(flaky_seed)
+    assert network.effective_loss_rate(SHARED_ADDRESS) == 0.5  # default
+    prober = ActiveProber(
+        network,
+        [ROOT_ADDRESS],
+        IP("203.0.113.7"),
+        config=ProbeConfig(rate_limit_qps=None, retry_round=retry_round),
+    )
+    return prober.probe_all({d: "AU" for d in domains})
+
+
+class TestRetryRecovery:
+    @pytest.fixture(scope="class")
+    def flaky_seed(self):
+        return _flaky_only_target_seed()
+
+    def test_retry_round_recovers_flaky_only_domains(self, flaky_seed):
+        without = _run(flaky_seed, retry_round=False)
+        with_retry = _run(flaky_seed, retry_round=True)
+        responsive_without = sum(1 for r in without if r.responsive)
+        responsive_with = sum(1 for r in with_retry if r.responsive)
+        # The flaky loss rate (0.5, two transmissions per series) fails
+        # some round-one series; the retry round re-measures them.
+        assert responsive_without < DOMAIN_COUNT
+        assert responsive_with > responsive_without
+        retried = [r for r in with_retry if r.retried]
+        assert retried
+        recovered = [r for r in retried if r.responsive]
+        assert recovered
+        for result in recovered:
+            assert result.failure_persistence == "transient"
+
+    def test_flaky_recovery_is_deterministic(self, flaky_seed):
+        first = [
+            (str(r.domain), r.responsive, r.retried)
+            for r in _run(flaky_seed, retry_round=True)
+        ]
+        second = [
+            (str(r.domain), r.responsive, r.retried)
+            for r in _run(flaky_seed, retry_round=True)
+        ]
+        assert first == second

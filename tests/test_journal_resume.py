@@ -1,0 +1,222 @@
+"""Deterministic checkpoint/resume: kill a campaign at event *k*,
+resume from the journal, and get the byte-identical dataset.
+
+The journal's contract has three legs:
+
+1. **Non-perturbing** — recording a journal must not change the
+   dataset (same digest as an unjournaled run).
+2. **Byte-identical resume** — for any kill point and seed, a resumed
+   campaign's dataset digest equals the uninterrupted run's, chaos
+   included.
+3. **Replay is load-bearing** — the resumed world's own RNG stream is
+   substituted by the journal during replay and restored from the
+   checkpoint at takeover, so even a scrambled pre-resume RNG cannot
+   change the outcome.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.journal import CampaignJournal, dataset_digest
+from repro.core.probe import ActiveProber
+from repro.core.study import GovernmentDnsStudy
+from repro.dns import Rcode, make_response
+from repro.net import CampaignAborted
+from repro.net.chaos import build_profile
+from repro.worldgen import WorldConfig, WorldGenerator
+
+from tests.conftest import TEST_SCALE, TEST_SEED
+
+
+def _refusal(query):
+    return make_response(query, rcode=Rcode.REFUSED)
+
+
+def _setup(seed, chaos):
+    world = WorldGenerator(
+        WorldConfig(seed=seed, scale=TEST_SCALE)
+    ).generate()
+    targets = GovernmentDnsStudy(world).targets()
+    if chaos is not None:
+        world.network.chaos = build_profile(
+            chaos,
+            sorted(world.network.addresses()),
+            seed=seed,
+            start=world.clock.now,
+            refusal_factory=_refusal,
+        )
+    return world, targets
+
+
+def _campaign(
+    seed=TEST_SEED,
+    chaos=None,
+    journal=None,
+    kill_after=None,
+    scramble_rng=False,
+):
+    """Run one campaign; returns the dataset (or raises on kill)."""
+    world, targets = _setup(seed, chaos)
+    if scramble_rng:
+        # Replay must make this irrelevant: during replay the journal
+        # substitutes recorded outcomes for draws, and takeover restores
+        # the checkpointed RNG state.
+        world.network.restore_rng_state(random.Random(0xBAD).getstate())
+    prober = ActiveProber(
+        world.network,
+        world.root_addresses,
+        world.probe_source,
+        journal=journal,
+    )
+    if kill_after is not None:
+        # Relative to already-fired events: seed selection runs through
+        # the same scheduler before the campaign starts.
+        world.network.events.abort_after = (
+            world.network.events.fired + kill_after
+        )
+    return prober.probe_all(targets)
+
+
+def _kill(path, kill_after, seed=TEST_SEED, chaos=None):
+    with pytest.raises(CampaignAborted):
+        _campaign(
+            seed=seed,
+            chaos=chaos,
+            journal=CampaignJournal.create(str(path)),
+            kill_after=kill_after,
+        )
+
+
+@pytest.fixture(scope="module")
+def plain_digest():
+    return dataset_digest(_campaign())
+
+
+@pytest.fixture(scope="module")
+def chaos_digest():
+    return dataset_digest(_campaign(chaos="mixed"))
+
+
+class TestJournalNeutrality:
+    def test_journaled_run_matches_unjournaled(self, tmp_path, plain_digest):
+        journal = CampaignJournal.create(str(tmp_path / "run.jsonl"))
+        dataset = _campaign(journal=journal)
+        assert dataset_digest(dataset) == plain_digest
+
+    def test_journaled_chaos_run_matches(self, tmp_path, chaos_digest):
+        journal = CampaignJournal.create(str(tmp_path / "run.jsonl"))
+        dataset = _campaign(chaos="mixed", journal=journal)
+        assert dataset_digest(dataset) == chaos_digest
+
+
+class TestKillResume:
+    # The mixed-chaos campaign finishes in ~2300 events (REFUSED ends
+    # query series early), so 2000 is the deep kill point.
+    @pytest.mark.parametrize("kill_after", [40, 400, 2000])
+    def test_resume_is_byte_identical_under_chaos(
+        self, tmp_path, chaos_digest, kill_after
+    ):
+        path = tmp_path / "killed.jsonl"
+        _kill(path, kill_after, chaos="mixed")
+        resumed = CampaignJournal.resume(str(path))
+        dataset = _campaign(chaos="mixed", journal=resumed)
+        assert dataset_digest(dataset) == chaos_digest
+
+    def test_resume_is_byte_identical_plain(self, tmp_path, plain_digest):
+        path = tmp_path / "killed.jsonl"
+        _kill(path, 400)
+        resumed = CampaignJournal.resume(str(path))
+        dataset = _campaign(journal=resumed)
+        assert dataset_digest(dataset) == plain_digest
+
+    def test_resume_other_seed_world(self, tmp_path):
+        """The property holds per seed, not just at the golden one."""
+        baseline = dataset_digest(_campaign(seed=11))
+        path = tmp_path / "killed.jsonl"
+        _kill(path, 400, seed=11)
+        resumed = CampaignJournal.resume(str(path))
+        dataset = _campaign(seed=11, journal=resumed)
+        assert dataset_digest(dataset) == baseline
+
+    def test_scrambled_rng_before_resume_is_harmless(
+        self, tmp_path, chaos_digest
+    ):
+        path = tmp_path / "killed.jsonl"
+        # Deep kill point so at least one checkpoint exists: takeover
+        # then restores RNG state rather than trusting the fresh world.
+        _kill(path, 2000, chaos="mixed")
+        resumed = CampaignJournal.resume(str(path))
+        assert resumed.recovered_results >= 0
+        dataset = _campaign(chaos="mixed", journal=resumed, scramble_rng=True)
+        assert dataset_digest(dataset) == chaos_digest
+
+    def test_resume_replays_recorded_sends(self, tmp_path):
+        path = tmp_path / "killed.jsonl"
+        _kill(path, 4000)
+        resumed = CampaignJournal.resume(str(path))
+        _campaign(journal=resumed)
+        assert resumed.replayed_sends > 0
+
+    def test_torn_trailing_line_is_tolerated(self, tmp_path, plain_digest):
+        path = tmp_path / "killed.jsonl"
+        _kill(path, 4000)
+        with open(path, "ab") as fh:
+            fh.write(b'{"k":"s","o"')  # kill -9 landed mid-write
+        resumed = CampaignJournal.resume(str(path))
+        dataset = _campaign(journal=resumed)
+        assert dataset_digest(dataset) == plain_digest
+
+
+class TestResumeRefusals:
+    def test_wrong_campaign_rejected(self, tmp_path):
+        path = tmp_path / "killed.jsonl"
+        _kill(path, 400, seed=TEST_SEED)
+        resumed = CampaignJournal.resume(str(path))
+        with pytest.raises(ValueError, match="campaign mismatch"):
+            _campaign(seed=11, journal=resumed)
+
+    def test_missing_chaos_profile_rejected(self, tmp_path):
+        """A checkpointed chaos stream cannot be resumed chaos-less."""
+        path = tmp_path / "killed.jsonl"
+        _kill(path, 2000, chaos="mixed")
+        resumed = CampaignJournal.resume(str(path))
+        # Same world/targets but no chaos schedule installed: the
+        # campaign identity differs, which is exactly the refusal the
+        # header digest exists to give.
+        with pytest.raises(ValueError, match="campaign mismatch"):
+            _campaign(chaos=None, journal=resumed)
+
+    def test_non_journal_file_rejected(self, tmp_path):
+        path = tmp_path / "noise.jsonl"
+        path.write_text("this is not a journal\n")
+        with pytest.raises(ValueError, match="no header"):
+            CampaignJournal.resume(str(path))
+
+
+class TestCompletedJournal:
+    @pytest.fixture(scope="class")
+    def completed(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("journal") / "complete.jsonl"
+        journal = CampaignJournal.create(str(path))
+        dataset = _campaign(journal=journal)
+        return path, dataset
+
+    def test_resume_after_completion_is_idempotent(
+        self, completed, plain_digest
+    ):
+        path, _ = completed
+        resumed = CampaignJournal.resume(str(path))
+        assert resumed.recovered_results > 0
+        dataset = _campaign(journal=resumed)
+        assert dataset_digest(dataset) == plain_digest
+
+    def test_load_results_roundtrips_the_dataset(self, completed):
+        path, dataset = completed
+        recovered = CampaignJournal.resume(str(path)).load_results()
+        by_domain = {result.domain: result for result in recovered}
+        assert set(by_domain) == set(dataset.results)
+        for domain, original in dataset.results.items():
+            assert by_domain[domain] == original

@@ -21,6 +21,14 @@ VIOLATIONS = {
     ),
     "dns001.py": 'MATCH = domain == "ns1.example.com"\n',
     "res001.py": "CLIENT = Resolver(network, roots)\n",
+    "res002.py": (
+        "for attempt in range(3):\n"
+        "    try:\n"
+        "        RESULT = fetch()\n"
+        "    except TimeoutError:\n"
+        "        clock.advance(2.0)\n"
+        "        continue\n"
+    ),
 }
 
 

@@ -206,6 +206,105 @@ class TestRES001MissingTimeoutRetry:
         assert rule_ids("r = Resolver(network, roots, **policy)\n") == []
 
 
+class TestRES002RetryBackoff:
+    def test_unbounded_while_true_retry_fires_once(self):
+        ids = rule_ids(
+            """
+            def fetch(clock):
+                while True:
+                    try:
+                        return probe()
+                    except QueryTimeout:
+                        continue
+            """
+        )
+        assert ids == ["RES002"]
+
+    def test_fixed_sleep_between_attempts_fires_once(self):
+        ids = rule_ids(
+            """
+            def fetch(clock):
+                for attempt in range(3):
+                    try:
+                        return probe()
+                    except QueryTimeout:
+                        clock.advance(2.0)
+                        continue
+            """
+        )
+        assert ids == ["RES002"]
+
+    def test_bounded_retry_with_computed_backoff_is_clean(self):
+        ids = rule_ids(
+            """
+            def fetch(clock, backoff, rng):
+                for attempt in range(1, 4):
+                    try:
+                        return probe()
+                    except QueryTimeout:
+                        clock.advance(backoff.delay(attempt, rng))
+                        continue
+            """
+        )
+        assert ids == []
+
+    def test_non_retry_while_true_is_clean(self):
+        # An event pump that never catches-and-continues is not a
+        # retry loop, however unbounded it looks.
+        ids = rule_ids(
+            """
+            def pump(events):
+                while True:
+                    if not events.run_next():
+                        break
+            """
+        )
+        assert ids == []
+
+    def test_fixed_wait_outside_retry_loop_is_clean(self):
+        ids = rule_ids(
+            """
+            def settle(clock):
+                for _ in range(3):
+                    clock.advance(2.0)
+            """
+        )
+        assert ids == []
+
+    def test_nested_function_retry_not_charged_to_outer_loop(self):
+        # The outer loop only defines workers; the retry shape lives in
+        # the nested def, which gets its own (clean) visit.
+        ids = rule_ids(
+            """
+            def build(clock):
+                workers = []
+                for _ in range(3):
+                    def work(backoff, rng, attempt=0):
+                        try:
+                            return probe()
+                        except QueryTimeout:
+                            clock.advance(backoff.delay(attempt, rng))
+                    workers.append(work)
+                return workers
+            """
+        )
+        assert ids == []
+
+    def test_one_finding_per_loop_even_with_both_defects(self):
+        ids = rule_ids(
+            """
+            def fetch(clock):
+                while True:
+                    try:
+                        return probe()
+                    except QueryTimeout:
+                        clock.advance(5.0)
+                        continue
+            """
+        )
+        assert ids == ["RES002"]
+
+
 class TestSuppressions:
     def test_inline_disable_silences_one_rule(self):
         ids = rule_ids(
