@@ -9,6 +9,8 @@ Commands
 ``remediate``  apply the §V-B toolbox and report before/after
 ``disclose``   responsible-disclosure notifications per operator
 ``lint``       run reprolint, the AST-based invariant checker
+``zonelint``   statically analyze the generated world's delegation graph
+``oracle``     differentially verify the campaign against zonelint truth
 ``campaign``   run the probe campaign with chaos/journal/resume controls
 
 Common options: ``--seed`` and ``--scale`` select the deterministic
@@ -23,6 +25,8 @@ from typing import Optional, Sequence
 
 from .core.study import GovernmentDnsStudy
 from .lint import cli as lint_cli
+from .net.chaos import PROFILES as _ORACLE_CHAOS_PROFILES
+from .zonelint import cli as zonelint_cli
 from .report.paperkit import ARTIFACTS, export_all
 from .report.tables import format_percent, render_table
 from .worldgen.config import WorldConfig
@@ -72,6 +76,43 @@ def build_parser() -> argparse.ArgumentParser:
         "lint", help="check determinism/error-hygiene/DNS-semantics invariants"
     )
     lint_cli.configure_parser(lint)
+
+    zonelint = sub.add_parser(
+        "zonelint",
+        help=(
+            "statically analyze the generated world's delegation graph "
+            "(no simulated queries)"
+        ),
+    )
+    zonelint_cli.configure_parser(zonelint)
+
+    oracle = sub.add_parser(
+        "oracle",
+        help=(
+            "differentially verify the active campaign against "
+            "zonelint's static ground truth"
+        ),
+    )
+    oracle.add_argument(
+        "--modes",
+        default="serial,concurrent,chaos",
+        help=(
+            "comma-separated campaign modes to verify: serial, "
+            "concurrent, chaos (default: all three)"
+        ),
+    )
+    oracle.add_argument(
+        "--chaos",
+        choices=_ORACLE_CHAOS_PROFILES,
+        default="mixed",
+        help="chaos profile for the chaos mode (default: mixed)",
+    )
+    oracle.add_argument(
+        "--json-out",
+        default=None,
+        metavar="PATH",
+        help="also write the full per-mode report as JSON to PATH",
+    )
 
     campaign = sub.add_parser(
         "campaign",
@@ -292,6 +333,42 @@ def _cmd_lint(args: argparse.Namespace, out) -> int:
     return lint_cli.run(args, out)
 
 
+def _cmd_zonelint(args: argparse.Namespace, out) -> int:
+    return zonelint_cli.run(args, out)
+
+
+def _cmd_oracle(args: argparse.Namespace, out) -> int:
+    from .core.oracle import ORACLE_MODES, run_oracle_mode
+    from .report.oracle import (
+        oracle_json,
+        render_oracle_report,
+        render_oracle_summary,
+    )
+
+    modes = [m.strip() for m in args.modes.split(",") if m.strip()]
+    unknown = [m for m in modes if m not in ORACLE_MODES]
+    if unknown:
+        print(
+            f"unknown oracle mode(s): {', '.join(unknown)} "
+            f"(choose from {', '.join(ORACLE_MODES)})",
+            file=out,
+        )
+        return 2
+    reports = []
+    for mode in modes:
+        report = run_oracle_mode(
+            args.seed, args.scale, mode, chaos_profile=args.chaos
+        )
+        reports.append(report)
+        print(render_oracle_report(report), file=out)
+    print(render_oracle_summary(reports), file=out)
+    if args.json_out is not None:
+        with open(args.json_out, "w", encoding="utf-8") as handle:
+            handle.write(oracle_json(reports))
+        print(f"oracle report written to {args.json_out}", file=out)
+    return 1 if any(r.unexplained for r in reports) else 0
+
+
 def _cmd_campaign(args: argparse.Namespace, out) -> int:
     from .core.journal import CampaignJournal, dataset_digest
     from .core.probe import ActiveProber
@@ -380,6 +457,8 @@ _COMMANDS = {
     "remediate": _cmd_remediate,
     "disclose": _cmd_disclose,
     "lint": _cmd_lint,
+    "zonelint": _cmd_zonelint,
+    "oracle": _cmd_oracle,
     "campaign": _cmd_campaign,
 }
 

@@ -160,6 +160,29 @@ class Zone:
             depth += 1
         return None
 
+    @property
+    def apex_ns_names(self) -> Tuple[DnsName, ...]:
+        """Hostnames in the zone's own NS set, in record order."""
+        rrset = self.apex_ns
+        if rrset is None:
+            return ()
+        names = []
+        for rdata in rrset.rdatas:
+            assert isinstance(rdata, NS)
+            names.append(rdata.nsdname)
+        return tuple(names)
+
+    def a_addresses(self, name: DnsName) -> Tuple[IPv4Address, ...]:
+        """Addresses of the A RRset at ``name`` (empty if none)."""
+        rrset = self._records.get((name, RRType.A))
+        if rrset is None:
+            return ()
+        addresses = []
+        for rdata in rrset.rdatas:
+            assert isinstance(rdata, A)
+            addresses.append(rdata.address)
+        return tuple(addresses)
+
     def glue_for(self, delegation: RRset) -> Tuple[RRset, ...]:
         """In-zone A records for a delegation's nameserver hostnames."""
         glue = []

@@ -1,14 +1,26 @@
 """Baseline (ratchet) support.
 
 A committed JSON file lists grandfathered findings by fingerprint
-(rule id, path, offending-line text — deliberately no line number, so
-edits elsewhere in a file do not un-baseline a finding).  On a lint run:
+(rule id, path, hash of the whitespace-normalized offending line —
+deliberately no line number, so edits elsewhere in a file do not
+un-baseline a finding, and no raw whitespace, so reformatting does not
+either).  On a lint run:
 
 * findings matching a baseline entry are reported as *baselined* and do
   not fail the build;
 * findings not in the baseline are *new* and fail the build;
 * baseline entries matching nothing are *stale* and reported so the
   file can be re-generated tighter (``--write-baseline``).
+
+Format versions
+---------------
+``version: 1`` rows carried the raw snippet text as the fingerprint
+part; ``version: 2`` rows carry the normalized line (for human review)
+plus its hash, and may attach a ``justification`` string explaining why
+the finding is grandfathered.  Version-1 files are migrated on load by
+hashing their snippets; the next ``--write-baseline`` rewrites them as
+version 2 (justifications are preserved across regeneration by
+fingerprint).
 
 The ratchet only ever loosens explicitly: regenerating the baseline is a
 reviewed change to a committed file.
@@ -19,47 +31,92 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
-from .findings import Finding
+from .findings import Finding, normalize_snippet, snippet_digest
 
 __all__ = ["Baseline", "BaselineMatch", "DEFAULT_BASELINE_NAME"]
 
 DEFAULT_BASELINE_NAME = "reprolint-baseline.json"
 
-_FORMAT_VERSION = 1
+_FORMAT_VERSION = 2
 
+# (rule id, path, snippet-hash) — what Finding.fingerprint() returns.
 _Fingerprint = Tuple[str, str, str]
 
 
 @dataclass
 class BaselineMatch:
-    """Partition of a run's findings against a baseline."""
+    """Partition of a run's findings against a baseline.
+
+    ``stale`` entries are ``(rule, path, display_line)`` — the stored
+    normalized line, not the hash, so reports stay readable.
+    """
 
     new: List[Finding] = field(default_factory=list)
     baselined: List[Finding] = field(default_factory=list)
-    stale: List[_Fingerprint] = field(default_factory=list)
+    stale: List[Tuple[str, str, str]] = field(default_factory=list)
 
 
 class Baseline:
     """A multiset of grandfathered finding fingerprints."""
 
-    def __init__(self, entries: Sequence[_Fingerprint] = ()) -> None:
+    def __init__(
+        self,
+        entries: Sequence[Tuple[str, str, str]] = (),
+        justifications: Optional[Dict[_Fingerprint, str]] = None,
+        display: Optional[Dict[_Fingerprint, str]] = None,
+    ) -> None:
+        """``entries`` are ``(rule, path, snippet_text)`` triples; the
+        snippet is normalized and hashed here so callers never build
+        fingerprints by hand."""
         self._counts: Dict[_Fingerprint, int] = {}
-        for entry in entries:
-            self._counts[entry] = self._counts.get(entry, 0) + 1
+        self._display: Dict[_Fingerprint, str] = dict(display or {})
+        self._justifications: Dict[_Fingerprint, str] = dict(
+            justifications or {}
+        )
+        for rule, path, snippet in entries:
+            key = (rule, path, snippet_digest(snippet))
+            self._counts[key] = self._counts.get(key, 0) + 1
+            self._display.setdefault(key, normalize_snippet(snippet))
 
     def __len__(self) -> int:
         return sum(self._counts.values())
 
+    def justification_for(self, fingerprint: _Fingerprint) -> Optional[str]:
+        return self._justifications.get(fingerprint)
+
     # ------------------------------------------------------------------
     @classmethod
-    def from_findings(cls, findings: Sequence[Finding]) -> "Baseline":
-        return cls([finding.fingerprint() for finding in findings])
+    def from_findings(
+        cls,
+        findings: Sequence[Finding],
+        previous: Optional["Baseline"] = None,
+    ) -> "Baseline":
+        """Build a baseline from live findings.
+
+        ``previous`` carries justifications forward by fingerprint, so
+        regenerating (``--write-baseline``) never silently drops the
+        reviewer-facing rationale for a grandfathered finding.
+        """
+        instance = cls(
+            [(f.rule_id, f.path, f.snippet) for f in findings]
+        )
+        if previous is not None:
+            for key in instance._counts:
+                note = previous._justifications.get(key)
+                if note is not None:
+                    instance._justifications[key] = note
+        return instance
 
     @classmethod
     def load(cls, path: Path) -> "Baseline":
-        """Read a baseline file; a missing file is an empty baseline."""
+        """Read a baseline file; a missing file is an empty baseline.
+
+        Accepts both format versions: v1 rows (``snippet``) are hashed
+        on the fly, v2 rows (``line`` + ``hash``) trust the stored hash
+        when present so hand-edited normalized lines stay matched.
+        """
         if not path.exists():
             return cls()
         try:
@@ -68,23 +125,44 @@ class Baseline:
             raise ValueError(f"unreadable baseline {path}: {exc}") from exc
         if not isinstance(payload, dict) or "findings" not in payload:
             raise ValueError(f"malformed baseline {path}: missing 'findings'")
-        entries: List[_Fingerprint] = []
+        instance = cls()
         for row in payload["findings"]:
-            entries.append(
-                (
-                    str(row["rule"]),
-                    str(row["path"]),
-                    str(row.get("snippet", "")),
+            rule = str(row["rule"])
+            file_path = str(row["path"])
+            if "hash" in row:
+                digest = str(row["hash"])
+                shown = normalize_snippet(str(row.get("line", "")))
+            else:
+                # Version-1 row: fingerprint from the raw snippet.
+                snippet = str(row.get("snippet", row.get("line", "")))
+                digest = snippet_digest(snippet)
+                shown = normalize_snippet(snippet)
+            key = (rule, file_path, digest)
+            instance._counts[key] = instance._counts.get(key, 0) + 1
+            instance._display.setdefault(key, shown)
+            if row.get("justification"):
+                instance._justifications.setdefault(
+                    key, str(row["justification"])
                 )
-            )
-        return cls(entries)
+        return instance
 
     def dump(self, path: Path) -> None:
-        """Write the baseline, sorted for stable diffs."""
+        """Write the baseline (format version 2), sorted for stable
+        diffs."""
         rows = []
-        for (rule, file_path, snippet), count in sorted(self._counts.items()):
+        for key, count in sorted(self._counts.items()):
+            rule, file_path, digest = key
             for _ in range(count):
-                rows.append({"rule": rule, "path": file_path, "snippet": snippet})
+                row = {
+                    "rule": rule,
+                    "path": file_path,
+                    "line": self._display.get(key, ""),
+                    "hash": digest,
+                }
+                note = self._justifications.get(key)
+                if note is not None:
+                    row["justification"] = note
+                rows.append(row)
         payload = {
             "version": _FORMAT_VERSION,
             "comment": (
@@ -112,5 +190,7 @@ class Baseline:
             else:
                 result.new.append(finding)
         for key, count in sorted(remaining.items()):
-            result.stale.extend([key] * count)
+            rule, file_path, _ = key
+            shown = self._display.get(key, "")
+            result.stale.extend([(rule, file_path, shown)] * count)
         return result

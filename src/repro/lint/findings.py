@@ -4,8 +4,25 @@ reporters."""
 from __future__ import annotations
 
 import enum
+import hashlib
 from dataclasses import dataclass
 from typing import Tuple
+
+
+def normalize_snippet(text: str) -> str:
+    """Whitespace-normalize an offending line for fingerprinting.
+
+    Collapsing interior runs and stripping the ends makes the
+    fingerprint survive re-indentation and formatting-only edits, which
+    are exactly the line drifts a baseline should not churn on.
+    """
+    return " ".join(text.split())
+
+
+def snippet_digest(text: str) -> str:
+    """Short stable hash of the normalized snippet (fingerprint part)."""
+    normalized = normalize_snippet(text)
+    return hashlib.sha256(normalized.encode("utf-8")).hexdigest()[:16]
 
 
 class Severity(enum.Enum):
@@ -29,10 +46,12 @@ class Severity(enum.Enum):
 class Finding:
     """One rule violation at one source location.
 
-    ``snippet`` is the stripped text of the offending line; together with
-    ``path`` and ``rule_id`` it forms the baseline fingerprint, which is
-    deliberately line-number-free so unrelated edits above a
-    grandfathered finding do not un-baseline it.
+    ``snippet`` is the stripped text of the offending line; a hash of
+    its whitespace-normalized form, together with ``path`` and
+    ``rule_id``, is the baseline fingerprint — deliberately
+    line-number-free so unrelated edits above a grandfathered finding
+    do not un-baseline it, and whitespace-insensitive so reformatting
+    does not either.
     """
 
     path: str
@@ -44,8 +63,9 @@ class Finding:
     snippet: str = ""
 
     def fingerprint(self) -> Tuple[str, str, str]:
-        """Stable identity for baseline matching."""
-        return (self.rule_id, self.path, self.snippet)
+        """Stable identity for baseline matching:
+        ``(rule, path, hash(normalized snippet))``."""
+        return (self.rule_id, self.path, snippet_digest(self.snippet))
 
     def render(self) -> str:
         """One-line human-readable form."""

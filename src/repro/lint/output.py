@@ -12,7 +12,6 @@ import json
 from typing import Any, Dict, List, Sequence
 
 from .baseline import BaselineMatch
-from .engine import Rule
 from .findings import Finding
 
 __all__ = ["render_text", "render_json", "render_sarif", "FORMATS"]
@@ -103,9 +102,19 @@ def _sarif_result(finding: Finding, baselined: bool) -> Dict[str, Any]:
 
 
 def render_sarif(
-    match: BaselineMatch, rules: Sequence[Rule], version: str
+    match: BaselineMatch,
+    rules: Sequence[Any],
+    version: str,
+    tool: str = "reprolint",
+    information_uri: str = "https://github.com/example/repro",
 ) -> str:
-    """A minimal-but-valid SARIF 2.1.0 document."""
+    """A minimal-but-valid SARIF 2.1.0 document.
+
+    ``rules`` is any sequence of objects with ``rule_id``,
+    ``description`` and ``severity`` attributes — reprolint's AST rules
+    and zonelint's smell descriptors both qualify, which is what lets
+    the two analyzer families share one reporter.
+    """
     driver_rules = [
         {
             "id": rule.rule_id,
@@ -121,11 +130,9 @@ def render_sarif(
             {
                 "tool": {
                     "driver": {
-                        "name": "reprolint",
+                        "name": tool,
                         "version": version,
-                        "informationUri": (
-                            "https://github.com/example/repro"
-                        ),
+                        "informationUri": information_uri,
                         "rules": driver_rules,
                     }
                 },

@@ -20,12 +20,20 @@ DNS semantics
             without explicit timeout/retry policy
 ``RES002``  retry loops that never bound their attempts or that wait a
             fixed constant between attempts instead of backing off
+
+Architecture
+------------
+``ARCH001`` import-layering violations: ``repro.dns`` must not import
+            ``repro.net``/``repro.core``, ``repro.worldgen`` and
+            ``repro.zonelint`` must not import ``repro.core``, and
+            ``repro.lint`` imports nothing above the stdlib
 """
 
 from __future__ import annotations
 
 import ast
 import re
+import sys
 from typing import Iterator, List, Optional, Tuple, Type
 
 from .engine import ModuleContext, Rule
@@ -40,6 +48,7 @@ __all__ = [
     "StringDnsComparisonRule",
     "MissingTimeoutRetryRule",
     "RetryBackoffRule",
+    "ImportLayeringRule",
 ]
 
 
@@ -532,6 +541,140 @@ class RetryBackoffRule(Rule):
             )
 
 
+class ImportLayeringRule(Rule):
+    """ARCH001: enforce the repository's import layering.
+
+    The dependency direction is ``lint < net < dns < worldgen <
+    zonelint < core``: the DNS data model must not reach down into the
+    transport substrate or up into the analyses, world generation must
+    stay measurable-by (not dependent-on) the measurement pipeline,
+    zonelint must derive truth without the active pipeline it verifies,
+    and the lint package has to stay importable before anything else in
+    the tree even parses.
+    """
+
+    rule_id = "ARCH001"
+    description = (
+        "import crosses a package layering boundary "
+        "(dns→net/core, worldgen→core, zonelint→core, lint→non-stdlib)"
+    )
+    severity = Severity.ERROR
+    interests = (ast.Import, ast.ImportFrom)
+
+    # own package prefix → forbidden imported-package prefixes
+    _FORBIDDEN = (
+        ("repro.dns", ("repro.net", "repro.core")),
+        ("repro.worldgen", ("repro.core",)),
+        ("repro.zonelint", ("repro.core",)),
+    )
+
+    @staticmethod
+    def _own_module(ctx: ModuleContext) -> Optional[str]:
+        """Dotted module name from the reported path, or None when the
+        file is not under a ``repro`` package root."""
+        parts = ctx.path.replace("\\", "/").split("/")
+        if "repro" not in parts:
+            return None
+        tail = parts[parts.index("repro"):]
+        if not tail[-1].endswith(".py"):
+            return None
+        # ``__init__`` is kept as a component: ``repro/lint/__init__.py``
+        # behaves like a module of the ``repro.lint`` package, which
+        # makes relative-import resolution uniform (level N strips N
+        # trailing components).
+        tail[-1] = tail[-1][: -len(".py")]
+        return ".".join(tail)
+
+    @staticmethod
+    def _resolve_relative(own: str, level: int, module: str) -> Optional[str]:
+        """Absolute form of a ``from ...x import y`` target."""
+        # For a module file, ``from . import x`` means the containing
+        # package; each extra dot climbs one more package.
+        base = own.split(".")[:-level] if level <= own.count(".") + 1 else None
+        if base is None:
+            return None
+        name = ".".join(base)
+        if module:
+            name = f"{name}.{module}" if name else module
+        return name
+
+    def _targets(
+        self, node: ast.AST, own: str
+    ) -> Iterator[str]:
+        """Absolute dotted names this import statement reaches."""
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                yield alias.name
+            return
+        assert isinstance(node, ast.ImportFrom)
+        if node.level == 0:
+            base = node.module or ""
+        else:
+            resolved = self._resolve_relative(own, node.level, node.module or "")
+            if resolved is None:
+                return
+            base = resolved
+        if base:
+            yield base
+        # ``from pkg import sub`` may bind a submodule: check the
+        # joined form too so package-level re-imports don't slip by.
+        for alias in node.names:
+            if alias.name != "*" and base:
+                yield f"{base}.{alias.name}"
+
+    @staticmethod
+    def _within(target: str, package: str) -> bool:
+        return target == package or target.startswith(package + ".")
+
+    def visit(self, node: ast.AST, ctx: ModuleContext) -> Iterator[Finding]:
+        own = self._own_module(ctx)
+        if own is None:
+            return
+        targets = list(self._targets(node, own))
+        if self._within(own, "repro.lint"):
+            yield from self._check_lint_layer(node, ctx, targets)
+            return
+        for package, forbidden in self._FORBIDDEN:
+            if not self._within(own, package):
+                continue
+            for target in targets:
+                for banned in forbidden:
+                    if self._within(target, banned):
+                        yield self.finding(
+                            node,
+                            ctx,
+                            f"{package} must not import {banned} "
+                            f"(imports {target})",
+                        )
+                        return
+            return
+
+    def _check_lint_layer(
+        self, node: ast.AST, ctx: ModuleContext, targets: List[str]
+    ) -> Iterator[Finding]:
+        stdlib = getattr(sys, "stdlib_module_names", None)
+        for target in targets:
+            if self._within(target, "repro"):
+                if self._within(target, "repro.lint"):
+                    continue
+                yield self.finding(
+                    node,
+                    ctx,
+                    "repro.lint must stay importable on its own; it must "
+                    f"not import {target}",
+                )
+                return
+            head = target.partition(".")[0]
+            if stdlib is not None and head and head not in stdlib:
+                yield self.finding(
+                    node,
+                    ctx,
+                    f"repro.lint imports non-stdlib module {head!r}; the "
+                    "lint layer depends on nothing above the stdlib",
+                )
+                return
+
+
 ALL_RULES: Tuple[Type[Rule], ...] = (
     WallClockRule,
     GlobalRandomRule,
@@ -540,4 +683,5 @@ ALL_RULES: Tuple[Type[Rule], ...] = (
     StringDnsComparisonRule,
     MissingTimeoutRetryRule,
     RetryBackoffRule,
+    ImportLayeringRule,
 )

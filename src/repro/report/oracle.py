@@ -1,0 +1,69 @@
+"""Rendering for differential-oracle results (``repro oracle``)."""
+
+from __future__ import annotations
+
+import json
+from typing import List
+
+from .tables import render_table
+
+__all__ = ["render_oracle_report", "render_oracle_summary", "oracle_json"]
+
+
+def render_oracle_report(report) -> str:
+    """One mode's outcome: agreement counts, then every disagreement
+    with its classification."""
+    rows = [["agreed", report.agreed]]
+    for classification, count in sorted(report.counts().items()):
+        rows.append([classification, count])
+    title = f"oracle mode={report.mode}"
+    if report.chaos_profile is not None:
+        title += f" chaos={report.chaos_profile}"
+    title += f" ({report.total} domains)"
+    lines = [render_table(["Classification", "Domains"], rows, title=title)]
+    for disagreement in report.disagreements:
+        lines.append(
+            f"  {disagreement.classification}: {disagreement.domain} "
+            f"[{disagreement.iso2}] "
+            f"fields={','.join(disagreement.fields)} — "
+            f"{disagreement.detail}"
+        )
+    return "\n".join(lines)
+
+
+def render_oracle_summary(reports: List) -> str:
+    """Cross-mode verdict line for CI logs."""
+    unexplained = sum(len(r.unexplained) for r in reports)
+    modes = ", ".join(r.mode for r in reports)
+    if unexplained:
+        return (
+            f"ORACLE FAIL: {unexplained} unexplained disagreement(s) "
+            f"across modes [{modes}]"
+        )
+    return f"oracle ok: zero unexplained disagreements across [{modes}]"
+
+
+def oracle_json(reports: List) -> str:
+    """Machine-readable dump of every mode's report."""
+    payload = []
+    for report in reports:
+        payload.append(
+            {
+                "mode": report.mode,
+                "chaos_profile": report.chaos_profile,
+                "total": report.total,
+                "agreed": report.agreed,
+                "counts": report.counts(),
+                "disagreements": [
+                    {
+                        "domain": str(d.domain),
+                        "iso2": d.iso2,
+                        "fields": list(d.fields),
+                        "classification": d.classification,
+                        "detail": d.detail,
+                    }
+                    for d in report.disagreements
+                ],
+            }
+        )
+    return json.dumps(payload, indent=2)

@@ -140,6 +140,7 @@ class World:
     providers: Dict[str, ProviderInstance]
     dangling_map: Dict[DnsName, List[DnsName]] = field(default_factory=dict)
     consistency_dangling: Dict[DnsName, List[DnsName]] = field(default_factory=dict)
+    registry_zones: Dict[DnsName, Zone] = field(default_factory=dict)
 
     def targets(self) -> List[DnsName]:
         """The active-probe target list (the paper's 147k)."""
@@ -147,6 +148,19 @@ class World:
 
     def truth_for(self, name: DnsName) -> DomainTruth:
         return self.truths[name]
+
+    def fault_plans(self) -> Dict[DnsName, FaultPlan]:
+        """The applied fault plan per target, as queryable metadata.
+
+        Plans are recorded as *applied*, after any generator fix-ups
+        (e.g. consistency-dangling wiring upgrading an EQUAL plan), so
+        static analyzers can be checked against what was actually built.
+        """
+        return {
+            name: truth.plan
+            for name, truth in self.truths.items()
+            if truth.plan is not None
+        }
 
 
 class WorldGenerator:
@@ -228,6 +242,7 @@ class WorldGenerator:
             providers=self._provider_instances,
             dangling_map=self._dangling_map,
             consistency_dangling=self._consistency_dangling,
+            registry_zones=dict(self._registry_zones),
         )
 
     # ==================================================================

@@ -1,0 +1,284 @@
+"""Differential check of zonelint against the generator's fault plans.
+
+The world generator records, per target, both the *intent* (the
+:class:`~repro.worldgen.faults.FaultPlan` it sampled) and the
+*realization* (the parent/child NS sets it actually wired).  This
+module asserts that the static analyzer recovers that ground truth
+exactly: every injected defect mode reappears with the right
+signature, stale delegations and single-label typos are flagged,
+dangling nameserver domains surface in the hijack scan, and the
+Figure-13 class computed from the walked graph matches the class the
+realized sets imply.
+
+An empty return value means 100% plan recovery.  Any entry is either a
+zonelint bug or a worldgen bug — the ``field`` string says which side
+the evidence points at.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Mapping, Set
+
+from ..dns.name import DnsName
+from ..worldgen.faults import Consistency, DefectMode
+from ..worldgen.generator import TargetStatus
+from .analyzer import GroundTruth, ZoneLinter
+from .smells import StaticConsistency, StaticDelegation, StaticOutcome, StaticStatus
+
+__all__ = ["PlanMismatch", "verify_world"]
+
+
+@dataclass(frozen=True)
+class PlanMismatch:
+    """One disagreement between the fault plan and static recovery."""
+
+    domain: DnsName
+    field: str
+    expected: str
+    observed: str
+
+    def render(self) -> str:
+        return (
+            f"{self.domain}: {self.field}: expected {self.expected}, "
+            f"observed {self.observed}"
+        )
+
+
+def _recovered_mode(server) -> str:
+    """Map a static server signature back to the injected DefectMode."""
+    if not server.resolvable:
+        return DefectMode.UNRESOLVABLE
+    observed = set(server.outcomes.values())
+    if observed and observed <= {StaticOutcome.TIMEOUT}:
+        return DefectMode.UNRESPONSIVE
+    if StaticOutcome.REFUSED in observed:
+        return DefectMode.LAME_REFUSED
+    if StaticOutcome.UPWARD in observed:
+        return DefectMode.LAME_UPWARD
+    if StaticOutcome.SERVFAIL in observed:
+        return DefectMode.LAME_SERVFAIL
+    return f"unrecognized:{','.join(sorted(observed))}"
+
+
+def _expected_consistency(truth, got: GroundTruth) -> str:
+    """The Figure-13 class the realized truth sets imply."""
+    parent: Set[DnsName] = set(truth.parent_ns)
+    child: Set[DnsName] = set(truth.child_ns)
+    if parent == child:
+        return StaticConsistency.EQUAL
+    if parent & child:
+        if parent < child:
+            return StaticConsistency.P_SUBSET_C
+        if child < parent:
+            return StaticConsistency.C_SUBSET_P
+        return StaticConsistency.OVERLAP_NEITHER
+    parent_ips = set()
+    child_ips = set()
+    for hostname in parent:
+        server = got.servers.get(hostname)
+        if server is not None:
+            parent_ips.update(server.addresses)
+    for hostname in child:
+        server = got.servers.get(hostname)
+        if server is not None:
+            child_ips.update(server.addresses)
+    if parent_ips & child_ips:
+        return StaticConsistency.DISJOINT_IP_OVERLAP
+    return StaticConsistency.DISJOINT
+
+
+def verify_world(
+    world, table: Mapping[DnsName, GroundTruth], linter: ZoneLinter
+) -> List[PlanMismatch]:
+    """Check every target's static recovery against the applied plan."""
+    mismatches: List[PlanMismatch] = []
+    wired_victims: Set[DnsName] = set()
+    for victims in world.consistency_dangling.values():
+        wired_victims.update(victims)
+    hijacks = linter.hijack_scan(table)
+
+    def bad(domain: DnsName, field: str, expected, observed) -> None:
+        mismatches.append(
+            PlanMismatch(domain, field, str(expected), str(observed))
+        )
+
+    for name in sorted(world.truths):
+        truth = world.truths[name]
+        got = table.get(name)
+        if got is None:
+            bad(name, "presence", "a ground-truth entry", "missing")
+            continue
+
+        if truth.status == TargetStatus.REMOVED:
+            if got.parent_status != StaticStatus.EMPTY:
+                bad(name, "removed-status", StaticStatus.EMPTY,
+                    got.parent_status)
+            continue
+        if truth.status == TargetStatus.ORPHANED:
+            # Two realizations: the parent zone is delegated but its
+            # servers are dead (no response), or the parent was never
+            # delegated at all and the suffix answers aa-empty.
+            expected = (StaticStatus.NO_RESPONSE, StaticStatus.EMPTY)
+            if got.parent_status not in expected:
+                bad(name, "orphaned-status", "no_response or empty",
+                    got.parent_status)
+            continue
+
+        # --- alive targets -------------------------------------------
+        if got.parent_status == StaticStatus.ANSWER:
+            # Parent and child co-hosted: the walk short-circuits into
+            # the child's own NS set.
+            if set(got.parent_ns) != set(truth.child_ns):
+                bad(name, "cohosted-parent-ns",
+                    sorted(str(h) for h in truth.child_ns),
+                    sorted(str(h) for h in got.parent_ns))
+        elif got.parent_status == StaticStatus.REFERRAL:
+            if set(got.parent_ns) != set(truth.parent_ns):
+                bad(name, "parent-ns",
+                    sorted(str(h) for h in truth.parent_ns),
+                    sorted(str(h) for h in got.parent_ns))
+        else:
+            bad(name, "alive-status", "referral or answer",
+                got.parent_status)
+            continue
+
+        stale = not truth.child_ns
+        if stale:
+            if got.responsive:
+                bad(name, "stale-responsive", "unresponsive", "responsive")
+            if got.delegation_verdict != StaticDelegation.FULL:
+                bad(name, "stale-verdict", StaticDelegation.FULL,
+                    got.delegation_verdict)
+        else:
+            if not got.responsive:
+                bad(name, "responsive", "responsive", "unresponsive")
+            if set(got.child_ns) != set(truth.child_ns):
+                bad(name, "child-ns",
+                    sorted(str(h) for h in truth.child_ns),
+                    sorted(str(h) for h in got.child_ns))
+
+        plan = truth.plan
+        if plan is not None:
+            cohosted = got.parent_status == StaticStatus.ANSWER
+            _verify_plan(
+                name, truth, got, plan, stale, cohosted, wired_victims, bad
+            )
+
+        _verify_zone_content(name, truth, got, stale, linter, bad)
+
+        for dns_domain in truth.dangling_ns_domains:
+            victims = hijacks.get(dns_domain)
+            if victims is None:
+                bad(name, "dangling-recovered", f"{dns_domain} registrable",
+                    "not in hijack scan")
+            elif name not in victims:
+                bad(name, "dangling-victim",
+                    f"{name} victim of {dns_domain}", "missing")
+    return mismatches
+
+
+def _verify_plan(
+    name: DnsName,
+    truth,
+    got: GroundTruth,
+    plan,
+    stale: bool,
+    cohosted: bool,
+    wired_victims: Set[DnsName],
+    bad,
+) -> None:
+    # Injected defect modes must be recovered exactly (as a multiset),
+    # from static signatures alone.  The stale builder falls back to a
+    # single unresponsive host when the plan carries no modes.
+    expected_modes = list(plan.defect_modes)
+    if stale and not expected_modes:
+        expected_modes = [DefectMode.UNRESPONSIVE]
+    recovered = [
+        _recovered_mode(got.servers[hostname])
+        for hostname in got.defective_ns
+        if len(hostname) > 1
+    ]
+    observed_single = any(len(h) == 1 for h in got.all_ns)
+
+    if cohosted:
+        # The parent zone is co-hosted with the child, so the walk
+        # short-circuits into the child apex NS set and parent-only
+        # hosts — where broken hosts are wired — are unobservable even
+        # to a lossless measurement.  Only one direction holds: every
+        # defect the analyzer *did* see must have been planned.
+        remaining = list(expected_modes)
+        for mode in recovered:
+            if mode in remaining:
+                remaining.remove(mode)
+            else:
+                bad(name, "cohosted-defect-modes",
+                    sorted(expected_modes), sorted(recovered))
+                break
+        if observed_single and not plan.single_label:
+            bad(name, "cohosted-single-label", False, True)
+        return
+
+    if sorted(recovered) != sorted(expected_modes):
+        bad(name, "defect-modes", sorted(expected_modes), sorted(recovered))
+
+    # Single-label typos: plan flag ⇔ static observation.
+    if bool(plan.single_label) != observed_single:
+        bad(name, "single-label", plan.single_label, observed_single)
+
+    if not stale:
+        expected_any = bool(expected_modes) or bool(plan.single_label)
+        observed_any = (
+            got.delegation_verdict != StaticDelegation.HEALTHY
+        )
+        if expected_any != observed_any:
+            bad(name, "any-defect", expected_any, got.delegation_verdict)
+
+    # Figure-13 class: what the realized sets imply must be what the
+    # analyzer computed from the walked graph.
+    if got.consistency_verdict is not None:
+        expected_class = _expected_consistency(truth, got)
+        if got.consistency_verdict != expected_class:
+            bad(name, "consistency", expected_class,
+                got.consistency_verdict)
+        # A clean EQUAL plan must realize as P=C (fix-ups upgrade the
+        # plan in place, so a surviving EQUAL means untouched).
+        if (
+            plan.consistency == Consistency.EQUAL
+            and not plan.single_label
+            and name not in wired_victims
+            and got.consistency_verdict != StaticConsistency.EQUAL
+        ):
+            bad(name, "plan-consistency", Consistency.EQUAL,
+                got.consistency_verdict)
+
+
+def _verify_zone_content(
+    name: DnsName,
+    truth,
+    got: GroundTruth,
+    stale: bool,
+    linter: ZoneLinter,
+    bad,
+) -> None:
+    """Worldgen-bug detector: the child zone file itself must agree
+    with the recorded truth and carry in-bailiwick A records."""
+    zone = linter.graph.zones.get(name)
+    if stale:
+        return
+    if zone is None:
+        bad(name, "zone-present", "a loaded child zone", "none")
+        return
+    apex = zone.apex_ns_names
+    if set(apex) != set(truth.child_ns):
+        bad(name, "zone-apex-ns",
+            sorted(str(h) for h in truth.child_ns),
+            sorted(str(h) for h in apex))
+    for hostname in apex:
+        if len(hostname) <= 1:
+            continue
+        if not hostname.is_subdomain_of(zone.origin):
+            continue
+        if not zone.a_addresses(hostname):
+            bad(name, "in-bailiwick-a",
+                f"A records for {hostname} in {zone.origin}", "none")

@@ -29,6 +29,9 @@ VIOLATIONS = {
         "        clock.advance(2.0)\n"
         "        continue\n"
     ),
+    # ARCH001 only fires inside a repro package tree, so this fixture
+    # is nested under a synthetic repro/dns/.
+    "repro/dns/arch001.py": "from ..net.network import Network\n",
 }
 
 
@@ -37,7 +40,9 @@ def violation_tree(tmp_path: Path) -> Path:
     tree = tmp_path / "badsrc"
     tree.mkdir()
     for name, source in VIOLATIONS.items():
-        (tree / name).write_text(source, encoding="utf-8")
+        target = tree / name
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(source, encoding="utf-8")
     return tree
 
 
@@ -116,6 +121,39 @@ class TestBaselineRatchet:
         )
         status, _ = run_cli(str(violation_tree), "--baseline", str(baseline))
         assert status == 0
+
+    def test_v1_baseline_migrates_on_load(self, violation_tree, tmp_path):
+        # Version-1 rows carried the raw snippet; they must keep
+        # matching, and the next --write-baseline must rewrite the file
+        # as version 2 with hash+line rows.
+        status, text = run_cli(
+            str(violation_tree), "--no-baseline", "--format", "json"
+        )
+        payload = json.loads(text)
+        rows = [
+            {"rule": f["rule"], "path": f["path"], "snippet": f["snippet"]}
+            for f in payload["findings"]
+        ]
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(
+            json.dumps({"version": 1, "findings": rows}), encoding="utf-8"
+        )
+        status, text = run_cli(
+            str(violation_tree), "--baseline", str(baseline)
+        )
+        assert status == 0
+        assert f"{len(VIOLATIONS)} baselined" in text
+
+        status, _ = run_cli(
+            str(violation_tree), "--baseline", str(baseline), "--write-baseline"
+        )
+        assert status == 0
+        migrated = json.loads(baseline.read_text(encoding="utf-8"))
+        assert migrated["version"] == 2
+        assert migrated["findings"]
+        for row in migrated["findings"]:
+            assert "hash" in row and "line" in row
+            assert "snippet" not in row
 
     def test_malformed_baseline_is_a_usage_error(self, violation_tree, tmp_path):
         baseline = tmp_path / "baseline.json"

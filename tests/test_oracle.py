@@ -1,0 +1,80 @@
+"""Differential oracle regression: active pipeline vs static truth.
+
+A plain world has no intrinsic loss (the flaky-server share defaults to
+zero), so serial and concurrent campaigns must agree with zonelint on
+*every* field of *every* domain.  Under a chaos profile, disagreements
+are expected — but each one must classify as legitimately unobservable
+(chaos-masked or a co-hosted-parent flip), never ``unexplained``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.oracle import (
+    AllowlistEntry,
+    DifferentialOracle,
+    run_oracle_mode,
+)
+from repro.zonelint import ZoneLinter
+
+from tests.conftest import TEST_SCALE, TEST_SEED
+
+
+def _table_for(world, dataset):
+    linter = ZoneLinter.for_world(world)
+    targets = {result.domain: result.iso2 for result in dataset}
+    return linter.analyze_all(targets)
+
+
+def test_concurrent_campaign_agrees_everywhere(world, dataset):
+    table = _table_for(world, dataset)
+    oracle = DifferentialOracle(world, table)
+    report = oracle.compare(dataset, "concurrent")
+    assert report.total == len(table) > 0
+    assert report.disagreements == []
+    assert report.agreed == report.total
+
+
+def test_serial_campaign_agrees_everywhere():
+    report = run_oracle_mode(TEST_SEED, TEST_SCALE, "serial")
+    assert report.disagreements == []
+    assert report.agreed == report.total > 0
+
+
+def test_chaos_campaign_has_zero_unexplained():
+    report = run_oracle_mode(
+        TEST_SEED, TEST_SCALE, "chaos", chaos_profile="mixed"
+    )
+    assert report.total > 0
+    assert report.unexplained == [], [
+        f"{d.domain}: {d.fields} — {d.detail}" for d in report.unexplained
+    ]
+    # Chaos actually bit: the run is a real adversarial exercise, not a
+    # vacuous pass.
+    assert report.agreed < report.total
+    assert set(report.counts()) <= {"chaos-masked", "cohosted-parent"}
+
+
+def test_allowlist_entries_reclassify_not_silence(world, dataset):
+    table = _table_for(world, dataset)
+    # Corrupt one static entry so the oracle sees a disagreement, then
+    # allowlist it: it must surface under the triaged kind.
+    domain = sorted(table)[0]
+    table[domain].parent_status = "no_response"
+    entry = AllowlistEntry(
+        domain=str(domain),
+        kind="worldgen-bug",
+        reason="synthetic corruption for the test",
+    )
+    oracle = DifferentialOracle(world, table, allowlist=(entry,))
+    report = oracle.compare(dataset, "concurrent")
+    assert report.unexplained == []
+    kinds = [d.classification for d in report.disagreements]
+    assert kinds == ["worldgen-bug"]
+    assert report.disagreements[0].detail == entry.reason
+
+
+def test_unknown_mode_rejected():
+    with pytest.raises(ValueError):
+        run_oracle_mode(TEST_SEED, TEST_SCALE, "warp-speed")
