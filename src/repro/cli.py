@@ -12,6 +12,7 @@ Commands
 ``zonelint``   statically analyze the generated world's delegation graph
 ``oracle``     differentially verify the campaign against zonelint truth
 ``campaign``   run the probe campaign with chaos/journal/resume controls
+``bench``      run the probe benchmark suite (writes BENCH_probe.json)
 
 Common options: ``--seed`` and ``--scale`` select the deterministic
 world; everything else derives from them.
@@ -20,6 +21,7 @@ world; everything else derives from them.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Optional, Sequence
 
@@ -98,7 +100,7 @@ def build_parser() -> argparse.ArgumentParser:
         default="serial,concurrent,chaos",
         help=(
             "comma-separated campaign modes to verify: serial, "
-            "concurrent, chaos (default: all three)"
+            "concurrent, chaos, sharded (default: serial,concurrent,chaos)"
         ),
     )
     oracle.add_argument(
@@ -154,6 +156,51 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="PATH",
         help="write the resilience-counter report as JSON to PATH",
+    )
+    campaign.add_argument(
+        "--shards",
+        default=None,
+        metavar="N|auto",
+        help=(
+            "run the campaign across N worker processes (auto = CPU "
+            "count); the merged dataset digest is identical for any N"
+        ),
+    )
+
+    bench = sub.add_parser(
+        "bench",
+        help=(
+            "run the probe benchmark suite (serial / concurrent / "
+            "sharded) and write BENCH_probe.json"
+        ),
+    )
+    bench.add_argument(
+        "--out",
+        default="BENCH_probe.json",
+        metavar="PATH",
+        help="where to write the benchmark report (default: BENCH_probe.json)",
+    )
+    bench.add_argument(
+        "--check",
+        default=None,
+        metavar="PATH",
+        help=(
+            "perf-regression gate: compare this run's deterministic "
+            "counters and dataset digests against a committed "
+            "BENCH_probe.json; exit 1 on any mismatch"
+        ),
+    )
+    bench.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker count for the sharded record (default: 4)",
+    )
+    bench.add_argument(
+        "--labels",
+        default="serial,concurrent,sharded",
+        help="comma-separated configurations to run (default: all three)",
     )
     return parser
 
@@ -385,6 +432,31 @@ def _cmd_campaign(args: argparse.Namespace, out) -> int:
         )
         return 2
 
+    shards: Optional[int] = None
+    if args.shards is not None:
+        if args.shards == "auto":
+            shards = os.cpu_count() or 1
+        else:
+            try:
+                shards = int(args.shards)
+            except ValueError:
+                print(
+                    f"--shards must be an integer or 'auto', "
+                    f"got {args.shards!r}",
+                    file=out,
+                )
+                return 2
+        if shards < 1:
+            print(f"--shards must be >= 1, got {shards}", file=out)
+            return 2
+        if args.kill_at_event is not None:
+            print(
+                "--kill-at-event needs the single-process engine (its "
+                "event count is tied to one scheduler); drop --shards",
+                file=out,
+            )
+            return 2
+
     world = WorldGenerator(
         WorldConfig(seed=args.seed, scale=args.scale)
     ).generate()
@@ -405,11 +477,47 @@ def _cmd_campaign(args: argparse.Namespace, out) -> int:
             ),
         )
 
+    if shards is not None:
+        from .core.probe import ProbeConfig
+        from .core.shard import ProcessCampaignRunner, government_suffixes
+
+        runner = ProcessCampaignRunner(
+            world,
+            targets,
+            ProbeConfig(),
+            shards=shards,
+            suffixes=government_suffixes(study.seeds().values()),
+            journal_path=args.resume or args.journal,
+        )
+        try:
+            dataset = runner.run()
+        except ValueError as error:
+            print(f"error: {error}", file=out)
+            return 2
+        print(f"domains probed: {len(dataset)}", file=out)
+        print(f"dataset-digest: {dataset_digest(dataset)}", file=out)
+        for stats in runner.shard_stats:
+            print(
+                f"shard {stats.shard}: targets={stats.targets} "
+                f"queries={stats.queries_sent} "
+                f"(warm={stats.warm_queries}) "
+                f"net={stats.network_queries} "
+                f"sim={stats.simulated_seconds:.1f}s",
+                file=out,
+            )
+        return 0
+
     journal: Optional[CampaignJournal] = None
-    if args.resume is not None:
-        journal = CampaignJournal.resume(args.resume)
-    elif args.journal is not None:
-        journal = CampaignJournal.create(args.journal)
+    try:
+        if args.resume is not None:
+            journal = CampaignJournal.resume(args.resume)
+        elif args.journal is not None:
+            journal = CampaignJournal.create(args.journal)
+    except ValueError as error:
+        # A shard manifest (or a corrupt journal) is a user error, not
+        # a crash.
+        print(f"error: {error}", file=out)
+        return 2
 
     prober = ActiveProber(
         world.network,
@@ -449,6 +557,39 @@ def _cmd_campaign(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace, out) -> int:
+    from .report.bench import check_probe_bench, run_probe_bench
+
+    labels = tuple(
+        label.strip() for label in args.labels.split(",") if label.strip()
+    )
+    report = run_probe_bench(
+        args.seed, args.scale, shards=args.shards, labels=labels
+    )
+    report.write(args.out)
+    print(f"benchmark report written to {args.out}", file=out)
+    for record in report.records:
+        phases = record.phases or {}
+        decomposition = " ".join(
+            f"{name}={seconds:.2f}s" for name, seconds in sorted(phases.items())
+        )
+        print(
+            f"  {record.label:<12} queries={record.queries_sent:<7} "
+            f"net={record.network_queries:<7} wall={record.wall_seconds:.2f}s "
+            f"[{decomposition}] digest={record.dataset_digest[:12]}…",
+            file=out,
+        )
+    if args.check is not None:
+        violations = check_probe_bench(report, args.check)
+        if violations:
+            print(f"perf gate FAILED against {args.check}:", file=out)
+            for violation in violations:
+                print(f"  {violation}", file=out)
+            return 1
+        print(f"perf gate passed against {args.check}", file=out)
+    return 0
+
+
 _COMMANDS = {
     "headline": _cmd_headline,
     "paperkit": _cmd_paperkit,
@@ -460,6 +601,7 @@ _COMMANDS = {
     "zonelint": _cmd_zonelint,
     "oracle": _cmd_oracle,
     "campaign": _cmd_campaign,
+    "bench": _cmd_bench,
 }
 
 

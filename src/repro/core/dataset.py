@@ -8,7 +8,7 @@ contract between the active-measurement pipeline and the §IV analyses.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 from ..dns.name import DnsName
 from ..net.address import IPv4Address
@@ -202,6 +202,28 @@ class MeasurementDataset:
     """The full campaign's results plus simple accessors."""
 
     results: Dict[DnsName, ProbeResult]
+
+    @classmethod
+    def merge(
+        cls, parts: "Iterable[MeasurementDataset]"
+    ) -> "MeasurementDataset":
+        """Combine disjoint per-shard datasets into admission order.
+
+        The campaign admits domains in sorted order, so the merged
+        dataset re-sorts the union — the result is byte-identical to a
+        single-process campaign over the same targets regardless of how
+        they were partitioned.  Overlapping shards are a partitioning
+        bug and raise.
+        """
+        combined: Dict[DnsName, ProbeResult] = {}
+        for part in parts:
+            for domain, result in part.results.items():
+                if domain in combined:
+                    raise ValueError(
+                        f"domain {domain} appears in more than one shard"
+                    )
+                combined[domain] = result
+        return cls({domain: combined[domain] for domain in sorted(combined)})
 
     def __len__(self) -> int:
         return len(self.results)

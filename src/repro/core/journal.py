@@ -47,6 +47,22 @@ objects tagged by ``"k"``:
 ``{"k":"c","sends":<n>,"clock":<now>,"rng":[...],"chaos":[...]|null}``
     Checkpoint after the ``n``-th send.  Resume truncates the file at
     the last checkpoint and replays exactly ``n`` sends.
+
+Sharded campaigns
+-----------------
+A sharded campaign (``repro campaign --shards K``) cannot share one
+journal file: K workers appending concurrently would interleave send
+entries non-deterministically.  Instead the journal path holds a
+one-line JSON **manifest**
+
+``{"k":"m","version":1,"shards":K,"campaign":<sha256>,"files":[...]}``
+
+and each worker keeps an ordinary single-process journal at
+``<path>.shard<i>`` covering exactly its shard's targets.  Resume is
+per shard: workers whose journal completed replay it fully; killed
+workers resume from their own last checkpoint.  Opening a manifest as a
+plain journal (or resuming with a different K) raises a clear error
+instead of silently corrupting state.
 """
 
 from __future__ import annotations
@@ -55,7 +71,7 @@ import hashlib
 import json
 from typing import Any, Dict, List, Mapping, Optional, Tuple
 
-from ..dns.name import DnsName
+from ..dns.name import DnsName, parse_cached
 from ..net.address import IPv4Address
 from ..net.network import Network
 from .dataset import MeasurementDataset, ProbeResult, ServerProbe
@@ -67,6 +83,9 @@ __all__ = [
     "dataset_digest",
     "result_from_dict",
     "result_to_dict",
+    "read_shard_manifest",
+    "shard_journal_path",
+    "write_shard_manifest",
 ]
 
 JOURNAL_VERSION = 1
@@ -125,10 +144,16 @@ def result_to_dict(result: ProbeResult) -> Dict[str, Any]:
 
 
 def result_from_dict(data: Mapping[str, Any]) -> ProbeResult:
-    """Inverse of :func:`result_to_dict`."""
+    """Inverse of :func:`result_to_dict`.
+
+    Names go through :func:`~repro.dns.name.parse_cached` — the sharded
+    merge path deserializes thousands of results whose hostnames repeat
+    heavily (co-hosted NS infrastructure), so parsing each distinct
+    spelling once matters.
+    """
     servers: Dict[DnsName, ServerProbe] = {}
     for entry in data["servers"]:
-        hostname = DnsName.parse(entry["hostname"])
+        hostname = parse_cached(entry["hostname"])
         servers[hostname] = ServerProbe(
             hostname=hostname,
             resolvable=entry["resolvable"],
@@ -140,7 +165,7 @@ def result_from_dict(data: Mapping[str, Any]) -> ProbeResult:
                 for a, o in entry["outcomes"].items()
             },
             ns_by_address={
-                IPv4Address.parse(a): tuple(DnsName.parse(n) for n in ns)
+                IPv4Address.parse(a): tuple(parse_cached(n) for n in ns)
                 for a, ns in entry["ns_by_address"].items()
             },
             prior_outcomes={
@@ -149,11 +174,11 @@ def result_from_dict(data: Mapping[str, Any]) -> ProbeResult:
             },
         )
     return ProbeResult(
-        domain=DnsName.parse(data["domain"]),
+        domain=parse_cached(data["domain"]),
         iso2=data["iso2"],
         parent_status=data["parent_status"],
-        parent_ns=tuple(DnsName.parse(h) for h in data["parent_ns"]),
-        child_ns=tuple(DnsName.parse(h) for h in data["child_ns"]),
+        parent_ns=tuple(parse_cached(h) for h in data["parent_ns"]),
+        child_ns=tuple(parse_cached(h) for h in data["child_ns"]),
         servers=servers,
         queries_sent=data["queries_sent"],
         retried=data["retried"],
@@ -197,6 +222,75 @@ def campaign_digest(
         separators=(",", ":"),
     ).encode()
     return hashlib.sha256(blob).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# Shard manifests
+# ----------------------------------------------------------------------
+def shard_journal_path(path: str, shard_index: int) -> str:
+    """The per-worker journal file for one shard of a manifest at ``path``."""
+    return f"{path}.shard{shard_index}"
+
+
+def write_shard_manifest(path: str, shards: int, campaign: str) -> List[str]:
+    """Write (or validate an existing) manifest; return per-shard paths.
+
+    Re-invoking with the same (shards, campaign) — the resume path — is
+    a no-op validation; any mismatch raises before a worker touches its
+    journal.
+    """
+    if shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards}")
+    files = [shard_journal_path(path, index) for index in range(shards)]
+    manifest = {
+        "k": "m",
+        "version": JOURNAL_VERSION,
+        "shards": shards,
+        "campaign": campaign,
+        "files": files,
+    }
+    try:
+        existing = read_shard_manifest(path)
+    except FileNotFoundError:
+        existing = None
+    if existing is not None:
+        if existing["shards"] != shards:
+            raise ValueError(
+                f"{path}: manifest was recorded with --shards "
+                f"{existing['shards']}, cannot resume with --shards "
+                f"{shards} — shard membership (and each worker's journal) "
+                f"is tied to the original count"
+            )
+        if existing["campaign"] != campaign:
+            raise ValueError(
+                f"{path}: manifest campaign mismatch — resume needs the "
+                f"same world seed/scale, probe config, and chaos profile"
+            )
+        return list(existing["files"])
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(json.dumps(manifest, separators=(",", ":")) + "\n")
+    return files
+
+
+def read_shard_manifest(path: str) -> Dict[str, Any]:
+    """Parse a shard manifest; raises ValueError on a plain journal."""
+    with open(path, "rb") as fh:
+        first = fh.readline()
+    try:
+        entry = json.loads(first)
+    except ValueError:
+        raise ValueError(f"{path}: not a shard manifest (unparseable)")
+    if not isinstance(entry, dict) or entry.get("k") != "m":
+        raise ValueError(
+            f"{path}: not a shard manifest — this looks like a "
+            f"single-process campaign journal (resume it without --shards)"
+        )
+    if entry.get("version") != JOURNAL_VERSION:
+        raise ValueError(
+            f"{path}: manifest version {entry.get('version')!r} "
+            f"!= supported {JOURNAL_VERSION}"
+        )
+    return entry
 
 
 # ----------------------------------------------------------------------
@@ -265,6 +359,13 @@ class CampaignJournal:
             if not isinstance(entry, dict) or "k" not in entry:
                 break
             kind = entry["k"]
+            if kind == "m":
+                raise ValueError(
+                    f"{self.path}: this is a sharded-campaign manifest "
+                    f"(recorded with --shards {entry.get('shards')}), not a "
+                    f"single-process journal — resume it with --shards "
+                    f"{entry.get('shards')}"
+                )
             if kind == "h":
                 header = entry
                 self._truncate_at = newline + 1

@@ -56,7 +56,7 @@ __all__ = [
     "run_oracle_mode",
 ]
 
-ORACLE_MODES = ("serial", "concurrent", "chaos")
+ORACLE_MODES = ("serial", "concurrent", "chaos", "sharded")
 
 _COHOSTED = "cohosted-parent"
 _CHAOS_MASKED = "chaos-masked"
@@ -365,7 +365,10 @@ def run_oracle_mode(
 
     ``serial`` probes one query at a time with zone-cut caching off
     (the reference pipeline), ``concurrent`` uses the default engine,
-    ``chaos`` is the concurrent engine under ``chaos_profile``.  The
+    ``chaos`` is the concurrent engine under ``chaos_profile``, and
+    ``sharded`` runs the default engine across two worker processes —
+    certifying that the parallel path observes the same world the
+    static analyzer derives, not just the in-process engines.  The
     static truth is computed before chaos is installed — the graph
     bypasses the delivery path, but truth-before-fault keeps the
     methodology honest.
@@ -384,7 +387,11 @@ def run_oracle_mode(
         config = ProbeConfig(max_in_flight=1, zone_cut_caching=False)
     else:
         config = ProbeConfig()
-    study = GovernmentDnsStudy(world, probe_config=config)
+    study = GovernmentDnsStudy(
+        world,
+        probe_config=config,
+        shards=2 if mode == "sharded" else None,
+    )
     # Seed selection issues its own queries; compute targets (and the
     # static truth) before chaos lands, mirroring the campaign CLI.
     targets = study.targets()

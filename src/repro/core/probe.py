@@ -540,6 +540,7 @@ class ActiveProber:
             else None
         )
         self.queries_sent = 0
+        self.warm_queries = 0
 
     @property
     def breaker(self) -> Optional[CircuitBreaker]:
@@ -797,6 +798,50 @@ class ActiveProber:
         result.retried = True
 
     # ------------------------------------------------------------------
+    # Cache warm-up
+    # ------------------------------------------------------------------
+    def _warm_task(self, parent: DnsName) -> Generator[Tuple[Any, ...], Any, None]:
+        yield from self._walk_to_parent_task(parent)
+        return None
+
+    def _warm_zone_cuts(self, order: List[DnsName]) -> None:
+        """Deterministically populate and freeze the zone-cut cache.
+
+        Before round one, walk every distinct parent name of the target
+        list (sorted, so admission order is canonical) and cache each
+        referral seen, then :meth:`~repro.dns.cache.ZoneCutCache.freeze`
+        the cache.  After this, every domain's walk starts from a cut
+        that is a pure function of the domain and the world — not of
+        which domains were probed earlier, in what order, or in which
+        process.  That is the property the sharded campaign runner needs
+        for the merged dataset digest to be identical for any shard
+        count: shard-local warming covers the same ancestor chains
+        (every ancestor of a target lies on its own parent's walk), so
+        all shard layouts freeze equivalent views of each target's
+        enclosing cuts.
+
+        Warm queries honour the rate limiter and are charged to the
+        prober's campaign total (they are real politeness-relevant
+        traffic, tracked separately in ``warm_queries``) but to no
+        domain's ``queries_sent`` — the measurement dataset never sees
+        them.
+        """
+        assert self._zone_cuts is not None
+        parents = sorted(
+            {domain.parent() for domain in order if len(domain) >= 2}
+        )
+        if parents:
+            driver = _CampaignDriver(self)
+            warmed = driver.run(
+                [
+                    (self._warm_task(parent), make_query(parent, RRType.NS))
+                    for parent in parents
+                ]
+            )
+            self.warm_queries += sum(queries for _, queries in warmed)
+        self._zone_cuts.freeze()
+
+    # ------------------------------------------------------------------
     # Campaign entry points
     # ------------------------------------------------------------------
     def probe_domain(self, domain: DnsName, iso2: str = "") -> ProbeResult:
@@ -856,6 +901,8 @@ class ActiveProber:
         journal: Optional[CampaignJournal],
     ) -> MeasurementDataset:
         order = sorted(targets)
+        if self._zone_cuts is not None:
+            self._warm_zone_cuts(order)
         driver = _CampaignDriver(self)
         probed = driver.run(
             [

@@ -1,0 +1,471 @@
+"""Sharded multiprocess campaign execution with a deterministic merge.
+
+The concurrent engine (PR 2) collapsed *simulated* time ~10× but left
+wall-clock nearly untouched: a campaign is CPU-bound inside one Python
+process, and the paper-scale target list (~147k domains) makes
+wall-clock the binding constraint for the ROADMAP's re-run-at-many-
+seeds ambition.  DNS measurement is embarrassingly parallel at the
+domain level (ZDNS's core observation), so this module partitions the
+target list into K shards and runs each in its own worker process.
+
+Determinism contract
+--------------------
+The merged dataset digest is **identical for every shard count,
+including K=1, and identical to the single-process concurrent engine**.
+Three mechanisms carry that promise:
+
+1. **Stable shard membership.**  A domain's shard is
+   ``sha256(registered_domain) % K`` — a pure function of the domain
+   and K, independent of target ordering, of Python's per-process hash
+   seed, and of the divisor layout (going from K=4 to K=8 moves
+   domains, but two runs at the same K always agree).  Hashing the
+   *registered* domain co-locates nested targets with their parent.
+2. **Per-domain purity.**  After the prober's deterministic warm phase
+   freezes the zone-cut cache (:meth:`repro.dns.cache.ZoneCutCache.freeze`),
+   every domain's walk cost and observations are a pure function of
+   (domain, world): no cross-domain cache races, no mid-campaign TTL
+   expiry, no interleaving effects.  Shard-local warming covers the
+   same ancestor chains full warming would (every enclosing cut of a
+   target lies on its own parent's walk), so all layouts freeze
+   equivalent views.  In default worlds the network RNG is never drawn
+   (no lossy hosts, fixed latency), completing the purity argument; for
+   chaos/lossy worlds each worker derives per-shard RNG streams, which
+   keeps runs *reproducible* per (seed, K) though not K-invariant.
+3. **Order-free merge.**  Workers return serialized results; the
+   parent merges them back into the campaign's sorted admission order
+   (:meth:`repro.core.dataset.MeasurementDataset.merge`), so worker
+   completion order is invisible.
+
+Workers prefer the ``fork`` start method (the parent's generated world
+is inherited copy-on-write — no pickling, no re-generation); under
+``spawn`` each worker regenerates the world from ``world.config`` and
+re-derives the identical target list.  Journals are per-shard files
+under a manifest (see :mod:`repro.core.journal`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import multiprocessing
+import os
+import random
+import traceback
+from dataclasses import dataclass, field
+from multiprocessing.connection import wait as _connection_wait
+from typing import Any, Dict, FrozenSet, List, Optional, Tuple
+
+from ..dns.errors import NameError_
+from ..dns.name import DnsName
+from ..net.events import CampaignAborted
+from .dataset import MeasurementDataset
+from .journal import (
+    CampaignJournal,
+    campaign_digest,
+    result_from_dict,
+    result_to_dict,
+    shard_journal_path,
+    write_shard_manifest,
+)
+
+__all__ = [
+    "ProcessCampaignRunner",
+    "ShardStats",
+    "government_suffixes",
+    "partition",
+    "shard_index",
+    "shard_key",
+]
+
+
+# ----------------------------------------------------------------------
+# Shard membership
+# ----------------------------------------------------------------------
+def government_suffixes(seeds) -> FrozenSet[DnsName]:
+    """The public-suffix set sharding keys off: every seed that is a
+    reserved government suffix (``gov.au``) rather than a registered
+    domain (``regjeringen.no``)."""
+    return frozenset(seed.d_gov for seed in seeds if seed.is_suffix)
+
+
+def shard_key(domain: DnsName, suffixes: FrozenSet[DnsName]) -> DnsName:
+    """The name a domain is sharded by: its registered domain.
+
+    Keying on the registered domain rather than the FQDN co-locates a
+    registered domain with everything beneath it, so related targets
+    land in one worker.  Domains with no registrable form (TLD-level
+    oddities) shard by their own name.
+    """
+    try:
+        return domain.registered_domain(suffixes)
+    except NameError_:
+        return domain
+
+
+def shard_index(
+    domain: DnsName, shards: int, suffixes: FrozenSet[DnsName]
+) -> int:
+    """Which of ``shards`` shards owns ``domain``.
+
+    sha256, never :func:`hash`: builtin string hashing is randomized
+    per process (PYTHONHASHSEED), and shard membership must be a pure
+    function of the domain.
+    """
+    digest = hashlib.sha256(str(shard_key(domain, suffixes)).encode()).digest()
+    return int.from_bytes(digest[:8], "big") % shards
+
+
+def partition(
+    targets: Dict[DnsName, str],
+    shards: int,
+    suffixes: FrozenSet[DnsName],
+) -> List[Dict[DnsName, str]]:
+    """Split {domain → ISO2} into ``shards`` disjoint maps, each in
+    sorted (admission) order."""
+    if shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards}")
+    parts: List[Dict[DnsName, str]] = [{} for _ in range(shards)]
+    for domain in sorted(targets):
+        parts[shard_index(domain, shards, suffixes)][domain] = targets[domain]
+    return parts
+
+
+# ----------------------------------------------------------------------
+# Worker protocol
+# ----------------------------------------------------------------------
+@dataclass
+class ShardStats:
+    """Per-worker campaign accounting reported back to the parent."""
+
+    shard: int
+    targets: int
+    queries_sent: int = 0
+    warm_queries: int = 0
+    network_queries: int = 0
+    timeouts: int = 0
+    simulated_seconds: float = 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "shard": self.shard,
+            "targets": self.targets,
+            "queries_sent": self.queries_sent,
+            "warm_queries": self.warm_queries,
+            "network_queries": self.network_queries,
+            "timeouts": self.timeouts,
+            "simulated_seconds": self.simulated_seconds,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ShardStats":
+        return cls(**data)
+
+
+@dataclass
+class _ShardTask:
+    """Everything one worker needs.  Under ``spawn`` this is pickled,
+    so the fork-only fields (the live world and pre-partitioned
+    targets) are stripped first; the worker then regenerates both."""
+
+    index: int
+    shards: int
+    seed: int
+    scale: float
+    config: Any  # ProbeConfig; typed loosely to avoid an import cycle
+    chaos_profile: Optional[str]
+    journal_path: Optional[str]
+    kill_at_event: Optional[int]
+    world: Any = field(default=None, repr=False)
+    shard_targets: Optional[Dict[DnsName, str]] = field(
+        default=None, repr=False
+    )
+
+    def materialize(self) -> Tuple[Any, Dict[DnsName, str]]:
+        if self.world is not None and self.shard_targets is not None:
+            return self.world, self.shard_targets
+        # Spawn path: regenerate the identical world and re-derive the
+        # identical target list (both pure functions of seed/scale),
+        # then take this worker's slice of the canonical partition.
+        from ..worldgen.config import WorldConfig
+        from ..worldgen.generator import WorldGenerator
+        from .study import GovernmentDnsStudy
+
+        world = WorldGenerator(
+            WorldConfig(seed=self.seed, scale=self.scale)
+        ).generate()
+        study = GovernmentDnsStudy(world, probe_config=self.config)
+        targets = study.targets()
+        suffixes = government_suffixes(study.seeds().values())
+        parts = partition(targets, self.shards, suffixes)
+        return world, parts[self.index]
+
+
+def _install_chaos(world, profile: str, seed: int) -> None:
+    from ..dns.message import Rcode, make_response
+    from ..net.chaos import build_profile
+
+    world.network.chaos = build_profile(
+        profile,
+        sorted(world.network.addresses()),
+        seed=seed,
+        start=world.clock.now,
+        refusal_factory=lambda query: make_response(
+            query, rcode=Rcode.REFUSED
+        ),
+    )
+
+
+def _shard_worker(task: _ShardTask, conn) -> None:
+    """Run one shard's campaign and ship results over ``conn``.
+
+    Every exit path reports: success sends ``("ok", results, stats)``,
+    the kill harness sends ``("aborted", fired)``, and any other
+    failure sends ``("error", traceback)`` before re-raising so the
+    parent never hangs on a silent corpse.
+    """
+    try:
+        from .probe import ActiveProber
+
+        world, shard_targets = task.materialize()
+        network = world.network
+        if task.chaos_profile is not None and network.chaos is None:
+            _install_chaos(world, task.chaos_profile, task.seed)
+        if task.shards > 1:
+            # Disjoint derived streams per worker: sharing the base
+            # stream would make each worker's draws depend on traffic
+            # it never sees.  K=1 keeps the original streams so the
+            # single-shard runner is bit-identical to the in-process
+            # engine even on chaos/lossy worlds.
+            material = f"{task.seed}:shard:{task.index}"
+            network.restore_rng_state(random.Random(material).getstate())
+            if network.chaos is not None:
+                network.chaos.derive_rng(task.index)
+        journal: Optional[CampaignJournal] = None
+        if task.journal_path is not None:
+            path = shard_journal_path(task.journal_path, task.index)
+            if os.path.exists(path):
+                journal = CampaignJournal.resume(path)
+            else:
+                journal = CampaignJournal.create(path)
+        if task.kill_at_event is not None:
+            network.events.abort_after = (
+                network.events.fired + task.kill_at_event
+            )
+        prober = ActiveProber(
+            network,
+            world.root_addresses,
+            world.probe_source,
+            config=task.config,
+            journal=journal,
+        )
+        started_at = world.clock.now
+        base_queries = network.stats.queries_sent
+        base_timeouts = network.stats.timeouts
+        dataset = prober.probe_all(shard_targets)
+        stats = ShardStats(
+            shard=task.index,
+            targets=len(shard_targets),
+            queries_sent=prober.queries_sent,
+            warm_queries=prober.warm_queries,
+            network_queries=network.stats.queries_sent - base_queries,
+            timeouts=network.stats.timeouts - base_timeouts,
+            simulated_seconds=world.clock.now - started_at,
+        )
+        conn.send(
+            (
+                "ok",
+                [result_to_dict(result) for result in dataset],
+                stats.to_dict(),
+            )
+        )
+    except CampaignAborted as aborted:
+        conn.send(("aborted", aborted.fired))
+    except BaseException:
+        conn.send(("error", traceback.format_exc()))
+        raise
+    finally:
+        conn.close()
+
+
+# ----------------------------------------------------------------------
+# The runner
+# ----------------------------------------------------------------------
+class ProcessCampaignRunner:
+    """Partition, fan out, collect, merge — deterministically.
+
+    Parameters mirror what :meth:`GovernmentDnsStudy.dataset` already
+    has in hand: the generated world, the target list, the probe
+    config, and the suffix set the shard hash keys off.
+    """
+
+    def __init__(
+        self,
+        world,
+        targets: Dict[DnsName, str],
+        config,
+        shards: int,
+        suffixes: FrozenSet[DnsName],
+        journal_path: Optional[str] = None,
+        kill_at_event: Optional[int] = None,
+    ) -> None:
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        self._world = world
+        self._targets = dict(targets)
+        self._config = config
+        self.shards = shards
+        self._suffixes = suffixes
+        self._journal_path = journal_path
+        self._kill_at_event = kill_at_event
+        self.shard_stats: List[ShardStats] = []
+
+    # ------------------------------------------------------------------
+    def _context(self):
+        methods = multiprocessing.get_all_start_methods()
+        return multiprocessing.get_context(
+            "fork" if "fork" in methods else "spawn"
+        )
+
+    def _chaos_profile_name(self) -> Optional[str]:
+        chaos = self._world.network.chaos
+        return chaos.name if chaos is not None else None
+
+    def _tasks(self, forked: bool) -> List[_ShardTask]:
+        from ..net.chaos import PROFILES
+
+        chaos_name = self._chaos_profile_name()
+        if not forked and chaos_name is not None and chaos_name not in PROFILES:
+            raise ValueError(
+                f"cannot shard a custom chaos schedule ({chaos_name!r}) "
+                f"without the fork start method: workers rebuild chaos "
+                f"from its profile name"
+            )
+        parts = partition(self._targets, self.shards, self._suffixes)
+        config = self._world.config
+        return [
+            _ShardTask(
+                index=index,
+                shards=self.shards,
+                seed=config.seed,
+                scale=config.scale,
+                config=self._config,
+                chaos_profile=chaos_name,
+                journal_path=self._journal_path,
+                kill_at_event=self._kill_at_event,
+                world=self._world if forked else None,
+                shard_targets=parts[index] if forked else None,
+            )
+            for index in range(self.shards)
+        ]
+
+    # ------------------------------------------------------------------
+    def collect(self) -> List[Tuple[List[Dict[str, Any]], ShardStats]]:
+        """Fan out the workers and gather per-shard payloads (in shard
+        order).  Raises :class:`CampaignAborted` if any worker hit the
+        kill harness, RuntimeError if any worker failed."""
+        if self._journal_path is not None:
+            chaos_name = self._chaos_profile_name()
+            write_shard_manifest(
+                self._journal_path,
+                self.shards,
+                campaign_digest(
+                    self._targets, self._config.identity(), chaos_name
+                ),
+            )
+        context = self._context()
+        forked = context.get_start_method() == "fork"
+        tasks = self._tasks(forked)
+        payloads: Dict[int, Tuple[List[Dict[str, Any]], ShardStats]] = {}
+        pending: Dict[Any, Tuple[int, Any]] = {}
+        workers = []
+        for task in tasks:
+            if not task.shard_targets and forked:
+                # Nothing to probe (K exceeds distinct shard keys):
+                # skip the process, synthesize an empty payload.
+                payloads[task.index] = (
+                    [],
+                    ShardStats(shard=task.index, targets=0),
+                )
+                continue
+            receiver, sender = context.Pipe(duplex=False)
+            process = context.Process(
+                target=_shard_worker, args=(task, sender), daemon=True
+            )
+            process.start()
+            sender.close()
+            pending[receiver] = (task.index, process)
+            workers.append(process)
+        aborted_fired: List[int] = []
+        errors: List[Tuple[int, str]] = []
+        try:
+            while pending:
+                ready = _connection_wait(list(pending), timeout=5.0)
+                if not ready:
+                    for receiver in list(pending):
+                        index, process = pending[receiver]
+                        if not process.is_alive() and not receiver.poll():
+                            raise RuntimeError(
+                                f"shard {index} worker died (exit code "
+                                f"{process.exitcode}) without reporting"
+                            )
+                    continue
+                for receiver in ready:
+                    index, process = pending.pop(receiver)
+                    try:
+                        message = receiver.recv()
+                    except EOFError:
+                        raise RuntimeError(
+                            f"shard {index} worker closed its pipe "
+                            f"without reporting (exit code "
+                            f"{process.exitcode})"
+                        )
+                    finally:
+                        receiver.close()
+                    kind = message[0]
+                    if kind == "ok":
+                        payloads[index] = (
+                            message[1],
+                            ShardStats.from_dict(message[2]),
+                        )
+                    elif kind == "aborted":
+                        aborted_fired.append(message[1])
+                    else:
+                        errors.append((index, message[1]))
+        finally:
+            for process in workers:
+                process.join(timeout=30.0)
+        if errors:
+            detail = "\n".join(
+                f"--- shard {index} ---\n{trace}"
+                for index, trace in sorted(errors)
+            )
+            raise RuntimeError(f"sharded campaign worker(s) failed:\n{detail}")
+        if aborted_fired:
+            raise CampaignAborted(sum(aborted_fired))
+        return [payloads[index] for index in sorted(payloads)]
+
+    def merge(
+        self, collected: List[Tuple[List[Dict[str, Any]], ShardStats]]
+    ) -> MeasurementDataset:
+        """Deserialize per-shard results and restore admission order."""
+        self.shard_stats = [stats for _, stats in collected]
+        parts = [
+            MeasurementDataset(
+                {
+                    result.domain: result
+                    for result in (
+                        result_from_dict(entry) for entry in entries
+                    )
+                }
+            )
+            for entries, _ in collected
+        ]
+        merged = MeasurementDataset.merge(parts)
+        if len(merged) != len(self._targets):
+            raise RuntimeError(
+                f"sharded merge lost domains: {len(merged)} merged "
+                f"!= {len(self._targets)} targets"
+            )
+        return merged
+
+    def run(self) -> MeasurementDataset:
+        return self.merge(self.collect())

@@ -40,6 +40,11 @@ class GovernmentDnsStudy:
 
     world: World
     probe_config: Optional[ProbeConfig] = None
+    # Number of worker processes for the active campaign (None = run
+    # in-process).  Deliberately NOT part of ProbeConfig.identity():
+    # the dataset is shard-count-invariant, so the campaign digest —
+    # and any journal recorded under it — must not change with K.
+    shards: Optional[int] = None
     _seeds: Optional[Dict[str, Seed]] = field(default=None, repr=False)
     _targets: Optional[Dict[DnsName, str]] = field(default=None, repr=False)
     _dataset: Optional[MeasurementDataset] = field(default=None, repr=False)
@@ -90,13 +95,27 @@ class GovernmentDnsStudy:
     # ------------------------------------------------------------------
     def dataset(self) -> MeasurementDataset:
         if self._dataset is None:
-            prober = ActiveProber(
-                self.world.network,
-                self.world.root_addresses,
-                self.world.probe_source,
-                config=self.probe_config,
-            )
-            self._dataset = prober.probe_all(self.targets())
+            if self.shards is not None:
+                from .shard import ProcessCampaignRunner, government_suffixes
+
+                runner = ProcessCampaignRunner(
+                    self.world,
+                    self.targets(),
+                    self.probe_config
+                    if self.probe_config is not None
+                    else ProbeConfig(),
+                    shards=self.shards,
+                    suffixes=government_suffixes(self.seeds().values()),
+                )
+                self._dataset = runner.run()
+            else:
+                prober = ActiveProber(
+                    self.world.network,
+                    self.world.root_addresses,
+                    self.world.probe_source,
+                    config=self.probe_config,
+                )
+                self._dataset = prober.probe_all(self.targets())
         return self._dataset
 
     # ------------------------------------------------------------------

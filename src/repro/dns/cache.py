@@ -150,6 +150,21 @@ class ZoneCutCache:
     If a cached cut turns out to be completely unreachable (the walk
     from it could not issue a single query), callers invalidate the
     entry and fall back to a cold walk from the root.
+
+    Freezing
+    --------
+    :meth:`freeze` pins the cache's contents for the remainder of the
+    campaign: writes and invalidations become no-ops and reads stop
+    consulting the live clock (entries already expired at freeze time
+    are pruned once, then the surviving set is immutable).  The sharded
+    campaign runner depends on this: after a deterministic warm phase
+    has populated the cache, freezing makes the cut returned by
+    :meth:`deepest_enclosing` — and therefore every domain's walk cost —
+    a pure function of the domain and the world, independent of task
+    interleaving, mid-campaign TTL expiry, and which other domains
+    share the process.  Without it, per-domain ``queries_sent`` would
+    differ between shard layouts and the merged dataset digest would
+    not be shard-count-invariant.
     """
 
     def __init__(
@@ -162,8 +177,27 @@ class ZoneCutCache:
         self._clock = clock
         self._max_ttl = max_ttl
         self._cuts: Dict[DnsName, ZoneCut] = {}
+        self._frozen = False
         self.hits = 0
         self.misses = 0
+
+    @property
+    def frozen(self) -> bool:
+        return self._frozen
+
+    def freeze(self) -> int:
+        """Prune entries already expired, then pin the cache read-only.
+
+        Returns the number of entries pruned.  Idempotent.
+        """
+        now = self._clock.now
+        stale = sorted(
+            name for name, cut in self._cuts.items() if cut.expires_at <= now
+        )
+        for name in stale:
+            del self._cuts[name]
+        self._frozen = True
+        return len(stale)
 
     def __len__(self) -> int:
         return len(self._cuts)
@@ -175,7 +209,9 @@ class ZoneCutCache:
         glue: Mapping[DnsName, Tuple[IPv4Address, ...]],
         ttl: int,
     ) -> None:
-        """Record a delegation observed in a referral."""
+        """Record a delegation observed in a referral (no-op once frozen)."""
+        if self._frozen:
+            return
         clamped = min(ttl, self._max_ttl)
         self._cuts[name] = ZoneCut(
             name=name,
@@ -185,11 +221,16 @@ class ZoneCutCache:
         )
 
     def get(self, name: DnsName) -> Optional[ZoneCut]:
-        """The live cut at exactly ``name``, or None (expiry-checked)."""
+        """The live cut at exactly ``name``, or None (expiry-checked).
+
+        A frozen cache skips the live-clock expiry check: the surviving
+        entry set was fixed at freeze time and stays visible however far
+        the simulated clock advances mid-campaign.
+        """
         cut = self._cuts.get(name)
         if cut is None:
             return None
-        if cut.expires_at <= self._clock.now:
+        if not self._frozen and cut.expires_at <= self._clock.now:
             del self._cuts[name]
             return None
         return cut
@@ -215,8 +256,18 @@ class ZoneCutCache:
         return None
 
     def invalidate(self, name: DnsName) -> None:
-        """Drop a cut whose cached servers turned out to be dead."""
+        """Drop a cut whose cached servers turned out to be dead.
+
+        No-op once frozen: every walk that trips over the dead cut then
+        independently pays the same zero-query attempt plus cold-walk
+        fallback, keeping per-domain cost composition-independent
+        instead of letting the first victim change later walks.
+        """
+        if self._frozen:
+            return
         self._cuts.pop(name, None)
 
     def flush(self) -> None:
+        if self._frozen:
+            return
         self._cuts.clear()

@@ -10,6 +10,7 @@ way.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from functools import lru_cache
 from typing import Optional, Tuple
 
 from .name import DnsName, ROOT
@@ -138,9 +139,22 @@ class Message:
         return replace(self, rcode=rcode)
 
 
-def make_query(qname: DnsName, qtype: str) -> Message:
-    """Build a query message."""
+@lru_cache(maxsize=65536)
+def _cached_query(qname: DnsName, qtype: str) -> Message:
     return Message(question=Question(qname, qtype))
+
+
+def make_query(qname: DnsName, qtype: str) -> Message:
+    """Build a query message.
+
+    Queries are fully determined by ``(qname, qtype)`` and Message is
+    frozen, so the returned object is a shared cached instance — a
+    campaign issues the same NS query for a domain dozens of times
+    (walk retransmits, sweeps, retry round) and pays construction once.
+    Callers needing a variant must go through :meth:`Message.with_rcode`
+    or :func:`dataclasses.replace`, which copy.
+    """
+    return _cached_query(qname, qtype)
 
 
 def make_response(

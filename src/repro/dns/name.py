@@ -10,12 +10,35 @@ A :class:`DnsName` stores labels in *wire order* (leftmost label first,
 root excluded), lowercased — DNS names are case-insensitive and every
 component of the reproduction normalizes on construction so that name
 equality is plain tuple equality.
+
+Hot-path kernels
+----------------
+A scale-1.0 campaign constructs and compares names hundreds of millions
+of times (every referral walk re-derives ancestors, every cache lookup
+hashes, every serialization stringifies), so this module keeps three
+kernels:
+
+* **Label-tuple interning** — every validated label tuple is stored
+  once in a module-level table; two equal names always share the *same*
+  tuple object, so equality is a pointer comparison and the tuple's
+  hash is computed exactly once per distinct name ever seen.
+* **Cached derived forms** — the casefolded presentation string, the
+  hierarchical sort key, and the RFC 1035 wire encoding are computed
+  lazily and shared by *all* instances spelling the same name (they
+  hang off the interned tuple, not the instance).
+* **Memoized validation** — per-label character checks run once per
+  distinct label (:func:`functools.lru_cache`), not once per
+  construction.
+
+Interning tables grow with the set of distinct names in a world, which
+is bounded by worldgen; they are process-wide and safe because names
+are immutable.
 """
 
 from __future__ import annotations
 
 from functools import lru_cache
-from typing import Iterable, Iterator, Optional, Tuple
+from typing import Dict, Iterable, Iterator, Optional, Tuple
 
 from .errors import NameError_
 
@@ -24,18 +47,39 @@ __all__ = ["DnsName", "ROOT"]
 _MAX_LABEL = 63
 _MAX_NAME = 253  # presentation form, excluding the trailing dot
 
-_LDH = set("abcdefghijklmnopqrstuvwxyz0123456789-_")
+_LDH = frozenset("abcdefghijklmnopqrstuvwxyz0123456789-_")
 
 
+@lru_cache(maxsize=None)
 def _validate_label(label: str) -> str:
     if not label:
         raise NameError_("empty label")
     if len(label) > _MAX_LABEL:
         raise NameError_(f"label too long ({len(label)} > {_MAX_LABEL}): {label!r}")
     lowered = label.lower()
-    if any(ch not in _LDH for ch in lowered):
+    if not _LDH.issuperset(lowered):
         raise NameError_(f"invalid character in label: {label!r}")
     return lowered
+
+
+class _NameForms:
+    """Derived forms shared by every instance of one interned name.
+
+    The slots start as ``None`` and are filled on first use; once set
+    they never change (names are immutable), so no invalidation exists.
+    """
+
+    __slots__ = ("hash", "sort_key", "text", "wire")
+
+    def __init__(self, hash_value: int) -> None:
+        self.hash = hash_value
+        self.sort_key: Optional[Tuple[str, ...]] = None
+        self.text: Optional[str] = None
+        self.wire: Optional[bytes] = None
+
+
+# validated label tuple -> (the one interned tuple, its shared forms).
+_INTERN: Dict[Tuple[str, ...], Tuple[Tuple[str, ...], _NameForms]] = {}
 
 
 class DnsName:
@@ -46,20 +90,33 @@ class DnsName:
     (``gov.au`` < ``health.gov.au`` < ``gov.br``).
     """
 
-    __slots__ = ("_labels", "_hash")
+    __slots__ = ("_labels", "_forms")
 
     def __init__(self, labels: Iterable[str]) -> None:
         validated = tuple(_validate_label(label) for label in labels)
-        presentation_length = sum(len(label) + 1 for label in validated) - 1
-        if validated and presentation_length > _MAX_NAME:
-            raise NameError_(
-                f"name too long ({presentation_length} > {_MAX_NAME})"
-            )
-        object.__setattr__(self, "_labels", validated)
-        object.__setattr__(self, "_hash", hash(validated))
+        entry = _INTERN.get(validated)
+        if entry is None:
+            # First sighting of this spelling: run the whole-name length
+            # check once, then intern.  Every later construction of an
+            # equal name reuses the tuple (pointer-equal) and its hash.
+            presentation_length = sum(len(label) + 1 for label in validated) - 1
+            if validated and presentation_length > _MAX_NAME:
+                raise NameError_(
+                    f"name too long ({presentation_length} > {_MAX_NAME})"
+                )
+            entry = (validated, _NameForms(hash(validated)))
+            _INTERN[validated] = entry
+        object.__setattr__(self, "_labels", entry[0])
+        object.__setattr__(self, "_forms", entry[1])
 
     def __setattr__(self, key: str, value: object) -> None:
         raise AttributeError("DnsName is immutable")
+
+    def __reduce__(self) -> Tuple[type, Tuple[Tuple[str, ...], ...]]:
+        # Pickle/copy support: rebuilding through __init__ re-interns in
+        # the receiving process, so cross-process names (the sharded
+        # campaign runner's merge path) regain pointer-cheap equality.
+        return (DnsName, (self._labels,))
 
     # ------------------------------------------------------------------
     # Construction
@@ -97,6 +154,23 @@ class DnsName:
         """
         return len(self._labels)
 
+    @property
+    def wire(self) -> bytes:
+        """The RFC 1035 wire encoding: length-prefixed labels plus the
+        terminating root byte.  Computed once per distinct name."""
+        forms = self._forms
+        encoded = forms.wire
+        if encoded is None:
+            encoded = (
+                b"".join(
+                    bytes((len(label),)) + label.encode("ascii")
+                    for label in self._labels
+                )
+                + b"\x00"
+            )
+            forms.wire = encoded
+        return encoded
+
     # ------------------------------------------------------------------
     # Algebra
     # ------------------------------------------------------------------
@@ -119,13 +193,15 @@ class DnsName:
 
     def is_subdomain_of(self, other: "DnsName") -> bool:
         """True when ``self`` is ``other`` or lies beneath it."""
-        if len(other._labels) > len(self._labels):
-            return False
-        offset = len(self._labels) - len(other._labels)
-        return self._labels[offset:] == other._labels
+        mine = self._labels
+        theirs = other._labels
+        if mine is theirs:  # interning: equal names share the tuple
+            return True
+        offset = len(mine) - len(theirs)
+        return offset > 0 and mine[offset:] == theirs
 
     def is_proper_subdomain_of(self, other: "DnsName") -> bool:
-        return self != other and self.is_subdomain_of(other)
+        return self._labels is not other._labels and self.is_subdomain_of(other)
 
     def child_label_under(self, ancestor: "DnsName") -> str:
         """The label immediately below ``ancestor`` on the path to self.
@@ -182,22 +258,37 @@ class DnsName:
     # Dunder plumbing
     # ------------------------------------------------------------------
     def __eq__(self, other: object) -> bool:
-        return isinstance(other, DnsName) and self._labels == other._labels
+        # Interning makes label tuples canonical: equal names always
+        # share the tuple object, so equality is a pointer check.
+        return isinstance(other, DnsName) and self._labels is other._labels
+
+    def _sort_key(self) -> Tuple[str, ...]:
+        forms = self._forms
+        key = forms.sort_key
+        if key is None:
+            key = tuple(reversed(self._labels))
+            forms.sort_key = key
+        return key
 
     def __lt__(self, other: "DnsName") -> bool:
-        return tuple(reversed(self._labels)) < tuple(reversed(other._labels))
+        return self._sort_key() < other._sort_key()
 
     def __le__(self, other: "DnsName") -> bool:
-        return self == other or self < other
+        return self._labels is other._labels or self < other
 
     def __hash__(self) -> int:
-        return self._hash
+        return self._forms.hash
 
     def __len__(self) -> int:
         return len(self._labels)
 
     def __str__(self) -> str:
-        return ".".join(self._labels) + "." if self._labels else "."
+        forms = self._forms
+        text = forms.text
+        if text is None:
+            text = ".".join(self._labels) + "." if self._labels else "."
+            forms.text = text
+        return text
 
     def __repr__(self) -> str:
         return f"DnsName({str(self)!r})"

@@ -266,6 +266,7 @@ class FaultSchedule:
                 "REFUSED responses"
             )
         self.name = name
+        self.seed = seed
         self._rng = random.Random(seed)
         self._outages = tuple(outages)
         self._bursts = tuple(bursts)
@@ -360,6 +361,18 @@ class FaultSchedule:
 
     def restore_rng_state(self, state: Any) -> None:
         self._rng.setstate(state)
+
+    def derive_rng(self, shard_index: int) -> None:
+        """Re-seed the loss RNG with a per-shard derived stream.
+
+        Sharded workers each replay a disjoint slice of the campaign;
+        sharing the base stream would make every worker's draws depend
+        on traffic it never sees.  Deriving ``Random(f"{seed}:shard:i")``
+        (the same string-seeding idiom :func:`build_profile` uses) gives
+        each shard a reproducible stream that is a pure function of
+        (profile seed, shard index).
+        """
+        self._rng = random.Random(f"{self.seed}:shard:{shard_index}")
 
 
 # ----------------------------------------------------------------------

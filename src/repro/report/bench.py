@@ -1,0 +1,184 @@
+"""The probe benchmark suite behind ``repro bench``.
+
+One entrypoint — :func:`run_probe_bench` — runs the campaign under each
+engine configuration on identically-seeded worlds, decomposes the
+wall-clock cost per phase (worldgen / probe / merge / analysis), stamps
+every record with the dataset digest, and writes ``BENCH_probe.json``.
+Both the CLI subcommand and ``benchmarks/test_perf_probe.py`` call it,
+so CI, pytest-benchmark, and humans measure exactly the same thing.
+
+``--check`` mode (:func:`check_probe_bench`) is the perf-regression
+gate: the deterministic counters and dataset digests in a fresh run
+must match the committed ``BENCH_probe.json`` byte-for-byte, while
+wall-clock numbers are advisory only (CI runners are noisy; counters
+are not).
+
+This module intentionally reads the host's real clock — it *measures*
+wall time, which is the one place the determinism lint must not apply;
+the inline suppressions below mark each deliberate call site.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Tuple
+
+from ..core.journal import dataset_digest
+from ..core.probe import ActiveProber, ProbeConfig
+from ..core.shard import ProcessCampaignRunner, government_suffixes
+from ..core.study import GovernmentDnsStudy
+from ..worldgen.config import WorldConfig
+from ..worldgen.generator import WorldGenerator
+from .perf import PerfRecord, PerfReport, gate_report, load_report_payload
+
+__all__ = [
+    "BENCH_CONFIGS",
+    "DEFAULT_SHARDS",
+    "check_probe_bench",
+    "run_probe_bench",
+    "run_probe_record",
+]
+
+# The sharded record is committed at a fixed K: its network-query total
+# depends on K (each worker warms its own cache), so the CI gate needs
+# one canonical shard count rather than "however many cores the runner
+# had".  Wall-clock still benefits from more cores at fixed K=4 only up
+# to 4; the CLI lets humans pass --shards auto for real speed runs.
+DEFAULT_SHARDS = 4
+
+BENCH_CONFIGS: Dict[str, Dict[str, object]] = {
+    "serial": {"max_in_flight": 1, "zone_cut_caching": False},
+    "concurrent": {"max_in_flight": 64, "zone_cut_caching": True},
+    "sharded": {"max_in_flight": 64, "zone_cut_caching": True},
+}
+
+
+def _now() -> float:
+    return time.perf_counter()  # reprolint: disable=DET001
+
+
+def run_probe_record(
+    label: str,
+    seed: int,
+    scale: float,
+    shards: Optional[int] = None,
+) -> PerfRecord:
+    """Run one configuration's full campaign and measure everything.
+
+    ``shards`` only applies to the ``sharded`` label (None there means
+    :data:`DEFAULT_SHARDS`).
+    """
+    if label not in BENCH_CONFIGS:
+        raise ValueError(f"unknown bench config: {label!r}")
+    config = ProbeConfig(**BENCH_CONFIGS[label])  # type: ignore[arg-type]
+    shard_count = (
+        (shards if shards is not None else DEFAULT_SHARDS)
+        if label == "sharded"
+        else None
+    )
+    phases: Dict[str, float] = {}
+
+    mark = _now()
+    world = WorldGenerator(WorldConfig(seed=seed, scale=scale)).generate()
+    study = GovernmentDnsStudy(world, probe_config=config)
+    targets = study.targets()
+    phases["worldgen"] = _now() - mark
+
+    sim_start = world.clock.now
+    base_network_queries = world.network.stats.queries_sent
+    base_timeouts = world.network.stats.timeouts
+    if shard_count is not None:
+        runner = ProcessCampaignRunner(
+            world,
+            targets,
+            config,
+            shards=shard_count,
+            suffixes=government_suffixes(study.seeds().values()),
+        )
+        mark = _now()
+        collected = runner.collect()
+        phases["probe"] = _now() - mark
+        mark = _now()
+        dataset = runner.merge(collected)
+        phases["merge"] = _now() - mark
+        study._dataset = dataset
+        queries_sent = sum(s.queries_sent for s in runner.shard_stats)
+        network_queries = base_network_queries + sum(
+            s.network_queries for s in runner.shard_stats
+        )
+        timeouts = base_timeouts + sum(
+            s.timeouts for s in runner.shard_stats
+        )
+        # Workers advance private clock copies; campaign duration in
+        # virtual time is the slowest shard's.
+        simulated = max(
+            (s.simulated_seconds for s in runner.shard_stats), default=0.0
+        )
+    else:
+        prober = ActiveProber(
+            world.network,
+            world.root_addresses,
+            world.probe_source,
+            config=config,
+        )
+        mark = _now()
+        dataset = prober.probe_all(targets)
+        phases["probe"] = _now() - mark
+        phases["merge"] = 0.0
+        study._dataset = dataset
+        queries_sent = prober.queries_sent
+        network_queries = world.network.stats.queries_sent
+        timeouts = world.network.stats.timeouts
+        simulated = world.clock.now - sim_start
+
+    mark = _now()
+    study.delegation().reports()
+    study.consistency().reports()
+    phases["analysis"] = _now() - mark
+
+    # The inter-round wait is methodology, not engine cost: subtract it
+    # to compare what the engine actually controls.
+    retried = any(r.retried for r in dataset.results.values())
+    waits = config.retry_interval_days * 86_400 if retried else 0.0
+    return PerfRecord(
+        label=label,
+        max_in_flight=config.max_in_flight,
+        zone_cut_caching=config.zone_cut_caching,
+        targets=len(targets),
+        # Campaign cost only (probe + merge): worldgen and analysis are
+        # identical across configurations and would dilute the ratios.
+        wall_seconds=round(phases["probe"] + phases["merge"], 3),
+        simulated_seconds=round(simulated, 3),
+        active_seconds=round(simulated - waits, 3),
+        queries_sent=queries_sent,
+        network_queries=network_queries,
+        timeouts=timeouts,
+        responsive_domains=sum(
+            1 for r in dataset.results.values() if r.responsive
+        ),
+        dataset_digest=dataset_digest(dataset),
+        shards=shard_count,
+        phases={name: round(phases[name], 3) for name in sorted(phases)},
+    )
+
+
+def run_probe_bench(
+    seed: int,
+    scale: float,
+    shards: Optional[int] = None,
+    labels: Tuple[str, ...] = ("serial", "concurrent", "sharded"),
+) -> PerfReport:
+    """Run the benchmark suite; ``serial`` (when present) is the
+    baseline for reduction ratios."""
+    report = PerfReport(scale=scale, seed=seed)
+    for label in labels:
+        report.add(
+            run_probe_record(label, seed, scale, shards=shards),
+            baseline=(label == "serial"),
+        )
+    return report
+
+
+def check_probe_bench(report: PerfReport, committed_path: str) -> List[str]:
+    """Gate a fresh report against the committed baseline file."""
+    return gate_report(report, load_report_payload(committed_path))

@@ -13,16 +13,34 @@ currencies:
 Records are written to a single JSON file (``BENCH_probe.json``) so CI
 can archive one artifact per run and successive runs can be compared
 without re-parsing benchmark stdout.
+
+The committed ``BENCH_probe.json`` doubles as a **regression gate**
+(:func:`gate_report`): the deterministic counters — query totals,
+responsive-domain counts, and the dataset digest — must match the
+committed record exactly, while wall-clock fields are advisory only
+(CI runner noise must not fail builds).
 """
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from .export import to_json, write_json
 
-__all__ = ["PerfRecord", "PerfReport"]
+__all__ = ["PerfRecord", "PerfReport", "gate_report", "load_report_payload"]
+
+# Fields that are pure functions of (seed, scale, config): any drift is
+# a real behaviour change, never runner noise.
+GATED_FIELDS = (
+    "targets",
+    "queries_sent",
+    "network_queries",
+    "timeouts",
+    "responsive_domains",
+    "dataset_digest",
+)
 
 
 @dataclass(frozen=True)
@@ -36,10 +54,18 @@ class PerfRecord:
     wall_seconds: float
     simulated_seconds: float
     active_seconds: float  # simulated minus configured inter-round waits
-    queries_sent: int  # prober-issued series (walk + sweep)
+    queries_sent: int  # prober-issued series (walk + sweep + warm)
     network_queries: int  # every datagram, including NS-address resolution
     timeouts: int
     responsive_domains: int
+    # sha256 of the canonical dataset serialization (see
+    # repro.core.journal.dataset_digest); None for legacy records.
+    dataset_digest: Optional[str] = None
+    # Worker-process count for sharded records; None = in-process.
+    shards: Optional[int] = None
+    # Wall-clock decomposition, phase name → seconds (worldgen /
+    # probe / merge / analysis).  Advisory, like all wall fields.
+    phases: Optional[Dict[str, float]] = None
 
 
 @dataclass
@@ -108,3 +134,62 @@ class PerfReport:
 
     def write(self, path: str) -> None:
         write_json(path, self.payload())
+
+
+# ----------------------------------------------------------------------
+# Regression gate
+# ----------------------------------------------------------------------
+def load_report_payload(path: str) -> Dict[str, object]:
+    """Read a previously written BENCH_probe.json payload."""
+    with open(path, "r", encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def gate_report(
+    current: PerfReport, committed: Dict[str, object]
+) -> List[str]:
+    """Compare a fresh report against the committed baseline payload.
+
+    Returns a list of violation strings (empty = gate passes).  The
+    deterministic counters in :data:`GATED_FIELDS` must match exactly;
+    wall-clock fields are never compared.  A record present in the
+    committed file but absent from the current run is a violation (a
+    silently dropped configuration is a regression too); new records in
+    the current run are allowed (that is how a record is introduced).
+    """
+    violations: List[str] = []
+    for key in ("seed", "scale"):
+        committed_value = committed.get(key)
+        current_value = getattr(current, key)
+        if committed_value != current_value:
+            violations.append(
+                f"benchmark identity mismatch: {key} is {current_value}, "
+                f"committed file was recorded at {committed_value}"
+            )
+    if violations:
+        return violations
+    records = committed.get("records")
+    if not isinstance(records, dict):
+        return ["committed payload has no records mapping"]
+    for label in sorted(records):
+        reference = records[label]
+        try:
+            record = current.get(label)
+        except KeyError:
+            violations.append(
+                f"record {label!r} present in committed baseline but "
+                f"missing from this run"
+            )
+            continue
+        assert isinstance(reference, dict)
+        for fieldname in GATED_FIELDS:
+            expected = reference.get(fieldname)
+            if expected is None:
+                continue  # legacy record predating the field
+            actual = getattr(record, fieldname)
+            if actual != expected:
+                violations.append(
+                    f"{label}.{fieldname}: {actual!r} != committed "
+                    f"{expected!r}"
+                )
+    return violations

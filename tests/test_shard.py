@@ -1,0 +1,411 @@
+"""Sharded campaign execution: membership, merge, journals, invariance.
+
+The load-bearing promise (see DESIGN.md §11): the merged dataset digest
+is identical for every shard count — including K=1 — and identical to
+the single-process concurrent engine.  The invariance test at the
+bottom exercises that promise end-to-end across seeds and shard counts;
+the unit tests above it pin each mechanism the promise rests on.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import json
+import random
+
+import pytest
+
+from repro.cli import main
+from repro.core.dataset import MeasurementDataset
+from repro.core.journal import (
+    CampaignJournal,
+    campaign_digest,
+    dataset_digest,
+    read_shard_manifest,
+    shard_journal_path,
+    write_shard_manifest,
+)
+from repro.core.probe import ProbeConfig
+from repro.core.shard import (
+    ProcessCampaignRunner,
+    government_suffixes,
+    partition,
+    shard_index,
+    shard_key,
+)
+from repro.core.study import GovernmentDnsStudy
+from repro.dns.name import DnsName
+from repro.net.events import CampaignAborted
+from repro.worldgen import WorldConfig, WorldGenerator
+
+
+def fresh_study(seed, scale, shards=None):
+    world = WorldGenerator(WorldConfig(seed=seed, scale=scale)).generate()
+    return GovernmentDnsStudy(world, shards=shards)
+
+
+# ----------------------------------------------------------------------
+# Shard membership
+# ----------------------------------------------------------------------
+class TestShardMembership:
+    @pytest.fixture(scope="class")
+    def suffixes(self, study):
+        return government_suffixes(study.seeds().values())
+
+    @pytest.fixture(scope="class")
+    def targets(self, study):
+        return study.targets()
+
+    def test_index_matches_manual_sha256(self, targets, suffixes):
+        for domain in list(sorted(targets))[:50]:
+            key = str(shard_key(domain, suffixes)).encode()
+            expected = (
+                int.from_bytes(hashlib.sha256(key).digest()[:8], "big") % 4
+            )
+            assert shard_index(domain, 4, suffixes) == expected
+
+    def test_partition_is_disjoint_complete_and_sorted(
+        self, targets, suffixes
+    ):
+        parts = partition(targets, 4, suffixes)
+        seen = {}
+        for index, part in enumerate(parts):
+            assert list(part) == sorted(part)  # admission order per shard
+            for domain in part:
+                assert domain not in seen
+                seen[domain] = index
+        assert set(seen) == set(targets)
+
+    def test_membership_independent_of_target_ordering(
+        self, targets, suffixes
+    ):
+        shuffled = list(targets)
+        random.Random(99).shuffle(shuffled)
+        reordered = {domain: targets[domain] for domain in shuffled}
+        assert partition(targets, 8, suffixes) == partition(
+            reordered, 8, suffixes
+        )
+
+    def test_membership_independent_of_the_rest_of_the_set(
+        self, targets, suffixes
+    ):
+        """A domain's shard is a function of the domain alone, so any
+        subset of the target list partitions consistently."""
+        subset = dict(list(sorted(targets.items()))[::3])
+        full = partition(targets, 4, suffixes)
+        for index, part in enumerate(partition(subset, 4, suffixes)):
+            for domain in part:
+                assert domain in full[index]
+
+    def test_nested_targets_co_shard_with_registered_domain(
+        self, targets, suffixes
+    ):
+        nested = [
+            domain
+            for domain in targets
+            if shard_key(domain, suffixes) != domain
+        ]
+        assert nested, "world should contain names below a registered domain"
+        for domain in nested[:50]:
+            registered = shard_key(domain, suffixes)
+            for shards in (2, 4, 8):
+                assert shard_index(domain, shards, suffixes) == shard_index(
+                    registered, shards, suffixes
+                )
+
+    def test_membership_stable_when_k_changes(self, targets, suffixes):
+        """Changing K re-partitions, but each domain's new home depends
+        only on (domain, K) — never on the old layout or on what else
+        is in the run.  Concretely: the K=8 assignment of every domain
+        is derivable from its stable 64-bit hash, which the K=4
+        assignment already pinned modulo 4."""
+        for domain in list(sorted(targets))[:200]:
+            key = str(shard_key(domain, suffixes)).encode()
+            stable = int.from_bytes(hashlib.sha256(key).digest()[:8], "big")
+            for shards in (1, 2, 4, 8):
+                assert shard_index(domain, shards, suffixes) == stable % shards
+
+    def test_tld_level_target_falls_back_to_itself(self, suffixes):
+        orphan = DnsName.parse("gov.example")
+        assert shard_key(orphan, frozenset()) == orphan
+
+    def test_partition_rejects_nonpositive_k(self, targets, suffixes):
+        with pytest.raises(ValueError):
+            partition(targets, 0, suffixes)
+        with pytest.raises(ValueError):
+            ProcessCampaignRunner(None, {}, ProbeConfig(), 0, frozenset())
+
+
+# ----------------------------------------------------------------------
+# Deterministic merge
+# ----------------------------------------------------------------------
+class TestDatasetMerge:
+    def test_merge_restores_admission_order(self, dataset):
+        ordered = sorted(dataset.results)
+        even = MeasurementDataset(
+            {d: dataset.results[d] for d in ordered[0::2]}
+        )
+        odd = MeasurementDataset(
+            {d: dataset.results[d] for d in ordered[1::2]}
+        )
+        # Part order must not matter: completion order of workers is
+        # nondeterministic in real time.
+        for parts in ((even, odd), (odd, even)):
+            merged = MeasurementDataset.merge(parts)
+            assert list(merged.results) == ordered
+            assert dataset_digest(merged) == dataset_digest(dataset)
+
+    def test_merge_rejects_duplicate_domains(self, dataset):
+        domain = next(iter(sorted(dataset.results)))
+        part = MeasurementDataset({domain: dataset.results[domain]})
+        with pytest.raises(ValueError, match="more than one shard"):
+            MeasurementDataset.merge([part, part])
+
+
+# ----------------------------------------------------------------------
+# Journal manifest + per-shard resume
+# ----------------------------------------------------------------------
+class TestShardJournal:
+    CAMPAIGN = "deadbeef" * 8
+
+    def test_manifest_roundtrip(self, tmp_path):
+        path = str(tmp_path / "run.jsonl")
+        files = write_shard_manifest(path, 3, self.CAMPAIGN)
+        assert files == [shard_journal_path(path, i) for i in range(3)]
+        manifest = read_shard_manifest(path)
+        assert manifest["shards"] == 3
+        assert manifest["campaign"] == self.CAMPAIGN
+
+    def test_manifest_rejects_shard_count_change(self, tmp_path):
+        path = str(tmp_path / "run.jsonl")
+        write_shard_manifest(path, 3, self.CAMPAIGN)
+        with pytest.raises(ValueError, match="--shards 3"):
+            write_shard_manifest(path, 4, self.CAMPAIGN)
+
+    def test_manifest_rejects_campaign_change(self, tmp_path):
+        path = str(tmp_path / "run.jsonl")
+        write_shard_manifest(path, 3, self.CAMPAIGN)
+        with pytest.raises(ValueError, match="campaign mismatch"):
+            write_shard_manifest(path, 3, "feedface" * 8)
+
+    def test_plain_resume_of_manifest_is_refused(self, tmp_path):
+        path = str(tmp_path / "run.jsonl")
+        write_shard_manifest(path, 3, self.CAMPAIGN)
+        with pytest.raises(ValueError, match="sharded-campaign manifest"):
+            CampaignJournal.resume(path)
+
+    def test_sharded_resume_of_plain_journal_is_refused(self, tmp_path):
+        path = str(tmp_path / "run.jsonl")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(
+                json.dumps({"k": "b", "campaign": self.CAMPAIGN}) + "\n"
+            )
+        with pytest.raises(ValueError, match="single-process campaign"):
+            read_shard_manifest(path)
+
+
+# ----------------------------------------------------------------------
+# The runner: fan out, kill, resume
+# ----------------------------------------------------------------------
+class TestProcessCampaignRunner:
+    SEED = 7
+    SCALE = 0.004
+
+    def build(self, journal_path=None, kill_at_event=None, shards=2):
+        study = fresh_study(self.SEED, self.SCALE)
+        return ProcessCampaignRunner(
+            study.world,
+            study.targets(),
+            ProbeConfig(),
+            shards=shards,
+            suffixes=government_suffixes(study.seeds().values()),
+            journal_path=journal_path,
+            kill_at_event=kill_at_event,
+        )
+
+    def test_merge_detects_lost_domains(self):
+        runner = self.build()
+        with pytest.raises(RuntimeError, match="lost domains"):
+            runner.merge([])
+
+    def test_kill_then_resume_matches_unkilled_digest(self, tmp_path):
+        baseline = dataset_digest(self.build().run())
+
+        journal = str(tmp_path / "run.jsonl")
+        with pytest.raises(CampaignAborted):
+            self.build(journal_path=journal, kill_at_event=300).run()
+        manifest = read_shard_manifest(journal)
+        assert manifest["shards"] == 2
+
+        resumed = self.build(journal_path=journal).run()
+        assert dataset_digest(resumed) == baseline
+
+    def test_journal_binds_campaign_identity(self, tmp_path):
+        journal = str(tmp_path / "run.jsonl")
+        self.build(journal_path=journal).run()
+        study = fresh_study(11, self.SCALE)  # different seed, same K
+        runner = ProcessCampaignRunner(
+            study.world,
+            study.targets(),
+            ProbeConfig(),
+            shards=2,
+            suffixes=government_suffixes(study.seeds().values()),
+            journal_path=journal,
+        )
+        with pytest.raises(ValueError, match="campaign mismatch"):
+            runner.run()
+
+    def test_manifest_file_format(self, tmp_path):
+        journal = str(tmp_path / "run.jsonl")
+        runner = self.build(journal_path=journal)
+        runner.run()
+        with open(journal, encoding="utf-8") as handle:
+            lines = handle.read().splitlines()
+        assert len(lines) == 1
+        entry = json.loads(lines[0])
+        assert entry["k"] == "m"
+        assert entry["shards"] == 2
+        assert entry["campaign"] == campaign_digest(
+            dict(runner._targets), ProbeConfig().identity(), None
+        )
+
+
+# ----------------------------------------------------------------------
+# CLI surface
+# ----------------------------------------------------------------------
+class TestCliShardedCampaign:
+    SMALL = ["--scale", "0.002", "--seed", "11"]
+
+    def run_cli(self, argv):
+        out = io.StringIO()
+        code = main(argv, out=out)
+        return code, out.getvalue()
+
+    @staticmethod
+    def digest_line(text):
+        lines = [
+            line
+            for line in text.splitlines()
+            if line.startswith("dataset-digest:")
+        ]
+        assert len(lines) == 1
+        return lines[0]
+
+    def test_sharded_digest_matches_plain_campaign(self):
+        code, plain = self.run_cli(self.SMALL + ["campaign"])
+        assert code == 0
+        code, sharded = self.run_cli(
+            self.SMALL + ["campaign", "--shards", "2"]
+        )
+        assert code == 0
+        assert "shard 0:" in sharded and "shard 1:" in sharded
+        assert self.digest_line(sharded) == self.digest_line(plain)
+
+    def test_shards_rejects_nonsense(self):
+        code, text = self.run_cli(self.SMALL + ["campaign", "--shards", "0"])
+        assert code == 2
+        code, text = self.run_cli(
+            self.SMALL + ["campaign", "--shards", "many"]
+        )
+        assert code == 2
+
+    def test_shards_refuses_kill_harness(self):
+        code, text = self.run_cli(
+            self.SMALL
+            + ["campaign", "--shards", "2", "--kill-at-event", "100"]
+        )
+        assert code == 2
+        assert "--kill-at-event" in text
+
+    def test_plain_resume_of_manifest_errors_cleanly(self, tmp_path):
+        journal = str(tmp_path / "run.jsonl")
+        code, _ = self.run_cli(
+            self.SMALL + ["campaign", "--shards", "2", "--journal", journal]
+        )
+        assert code == 0
+        code, text = self.run_cli(
+            self.SMALL + ["campaign", "--resume", journal]
+        )
+        assert code == 2
+        assert "sharded-campaign manifest" in text
+
+    def test_sharded_resume_replays_to_identical_digest(self, tmp_path):
+        journal = str(tmp_path / "run.jsonl")
+        code, first = self.run_cli(
+            self.SMALL + ["campaign", "--shards", "2", "--journal", journal]
+        )
+        assert code == 0
+        code, replayed = self.run_cli(
+            self.SMALL + ["campaign", "--shards", "2", "--resume", journal]
+        )
+        assert code == 0
+        assert self.digest_line(replayed) == self.digest_line(first)
+
+    def test_resume_with_wrong_k_errors_cleanly(self, tmp_path):
+        journal = str(tmp_path / "run.jsonl")
+        code, _ = self.run_cli(
+            self.SMALL + ["campaign", "--shards", "2", "--journal", journal]
+        )
+        assert code == 0
+        code, text = self.run_cli(
+            self.SMALL + ["campaign", "--shards", "3", "--resume", journal]
+        )
+        assert code == 2
+        assert "--shards 2" in text
+
+    def test_bench_subcommand_smoke(self, tmp_path):
+        out_path = str(tmp_path / "bench.json")
+        code, text = self.run_cli(
+            ["--scale", "0.002", "--seed", "11", "bench", "--out", out_path,
+             "--labels", "serial,concurrent"]
+        )
+        assert code == 0
+        payload = json.loads(open(out_path).read())
+        assert set(payload["records"]) == {"serial", "concurrent"}
+        code, text = self.run_cli(
+            ["--scale", "0.002", "--seed", "11", "bench",
+             "--out", str(tmp_path / "bench2.json"),
+             "--labels", "serial,concurrent", "--check", out_path]
+        )
+        assert code == 0
+        assert "perf gate passed" in text
+
+    def test_bench_gate_fails_on_identity_mismatch(self, tmp_path):
+        out_path = str(tmp_path / "bench.json")
+        code, _ = self.run_cli(
+            ["--scale", "0.002", "--seed", "11", "bench", "--out", out_path,
+             "--labels", "serial"]
+        )
+        assert code == 0
+        code, text = self.run_cli(
+            ["--scale", "0.002", "--seed", "12", "bench",
+             "--out", str(tmp_path / "bench2.json"),
+             "--labels", "serial", "--check", out_path]
+        )
+        assert code == 1
+        assert "identity mismatch" in text
+
+
+# ----------------------------------------------------------------------
+# The tentpole promise, end to end
+# ----------------------------------------------------------------------
+class TestShardInvariance:
+    """Digest identical for K ∈ {1, 2, 4, 8} across seeds, and equal to
+    the single-process concurrent engine's digest (ISSUE 5 acceptance).
+    """
+
+    SCALE = 0.05
+    SEEDS = (5, 7, 11)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_digest_invariant_across_shard_counts(self, seed):
+        reference = dataset_digest(fresh_study(seed, self.SCALE).dataset())
+        for shards in (1, 2, 4, 8):
+            digest = dataset_digest(
+                fresh_study(seed, self.SCALE, shards=shards).dataset()
+            )
+            assert digest == reference, (
+                f"seed {seed}: K={shards} digest diverged from the "
+                f"single-process concurrent digest"
+            )

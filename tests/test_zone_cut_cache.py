@@ -102,6 +102,50 @@ def test_rejects_nonpositive_max_ttl():
         ZoneCutCache(SimulatedClock(0.0), max_ttl=0)
 
 
+class TestFrozenCache:
+    """After ``freeze()`` the cache is a pure read-only function of the
+    world: no TTL expiry against the live clock, no writes, no
+    invalidation.  This is what makes each domain's walk cost identical
+    under any shard layout (DESIGN.md §11)."""
+
+    def build(self):
+        clock = SimulatedClock(0.0)
+        cache = ZoneCutCache(clock)
+        cache.put(_GOV, _NS, _GLUE, ttl=300)
+        return clock, cache
+
+    def test_freeze_prunes_already_stale_entries(self):
+        clock, cache = self.build()
+        cache.put(_HEALTH, _NS, _GLUE, ttl=100)
+        clock.advance(200.0)  # health stale, gov still live
+        assert cache.freeze() == 1
+        assert cache.frozen
+        assert cache.get(_HEALTH) is None
+        assert cache.get(_GOV) is not None
+
+    def test_frozen_get_ignores_live_clock_expiry(self):
+        clock, cache = self.build()
+        cache.freeze()
+        clock.advance(MAX_RESOLVER_TTL * 2)
+        assert cache.get(_GOV) is not None  # would have expired unfrozen
+
+    def test_frozen_put_invalidate_flush_are_noops(self):
+        clock, cache = self.build()
+        cache.freeze()
+        cache.put(_HEALTH, _NS, _GLUE, ttl=3600)
+        assert cache.get(_HEALTH) is None
+        cache.invalidate(_GOV)
+        assert cache.get(_GOV) is not None
+        cache.flush()
+        assert len(cache) == 1
+
+    def test_freeze_is_idempotent(self):
+        clock, cache = self.build()
+        assert cache.freeze() == 0
+        assert cache.freeze() == 0
+        assert len(cache) == 1
+
+
 def _probe_mini(zone_cut_caching: bool):
     world = build_mini_dns()
     prober = ActiveProber(
