@@ -12,8 +12,8 @@ from __future__ import annotations
 
 from typing import Dict, Mapping, Optional, Tuple
 
-from ..net.address import IPv4Address
-from ..net.clock import SimulatedClock
+from ..inet.address import IPv4Address
+from ..inet.clock import SimulatedClock
 from .name import DnsName
 from .rrset import RRset
 

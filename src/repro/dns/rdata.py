@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Union
 
-from ..net.address import IPv4Address
+from ..inet.address import IPv4Address
 from .name import DnsName
 
 __all__ = [

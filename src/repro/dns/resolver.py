@@ -18,9 +18,9 @@ import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..net.address import IPv4Address
-from ..net.network import Network, QueryTimeout
-from ..net.resilience import BackoffPolicy
+from ..inet.address import IPv4Address
+from ..inet.backoff import BackoffPolicy
+from ..inet.transport import QueryTimeout, QueryTransport
 from .cache import ResolverCache, ZoneCutCache
 from .errors import NoNameservers, ResolutionLoop
 from .message import Message, Rcode, make_query
@@ -85,7 +85,7 @@ class Resolver:
 
     def __init__(
         self,
-        network: Network,
+        network: QueryTransport,
         root_addresses: Sequence[IPv4Address],
         cache: Optional[ResolverCache] = None,
         source: Optional[IPv4Address] = None,
@@ -110,8 +110,11 @@ class Resolver:
         # historical immediate retransmit.  The RNG (for jitter) is
         # caller-supplied so the prober can share one seeded stream.
         self._backoff = backoff
+        # The constant-seeded default only serves directly-constructed
+        # resolvers; every shard-worker path goes through ActiveProber,
+        # which always injects its own stream here.
         self._backoff_rng = (
-            backoff_rng if backoff_rng is not None else random.Random(0)
+            backoff_rng if backoff_rng is not None else random.Random(0)  # reprolint: disable=FLW102
         )
 
     @property

@@ -19,8 +19,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
-from ..net.address import IPv4Address
-from ..net.network import Host
+from ..inet.address import IPv4Address
+from ..inet.transport import Host
 from .name import DnsName, ROOT
 from .rdata import A, NS, RRType
 from .rrset import RRset

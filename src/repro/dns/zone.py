@@ -16,7 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, Optional, Set, Tuple
 
-from ..net.address import IPv4Address
+from ..inet.address import IPv4Address
 from .errors import ZoneError
 from .name import DnsName
 from .rdata import A, NS, RRType, SOA

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from typing import List, Optional
 
-from ..net.address import IPv4Address
+from ..inet.address import IPv4Address
 from .errors import ZoneFileError
 from .name import DnsName
 from .rdata import A, AAAA, CNAME, MX, NS, PTR, RRType, SOA, TXT, Rdata

@@ -1,0 +1,76 @@
+"""Transport-neutral delivery contracts.
+
+The DNS resolver and the authoritative servers need to talk *about* a
+transport without depending on the concrete simulated internetwork in
+:mod:`repro.net.network`: the resolver issues blocking queries against
+anything satisfying :class:`QueryTransport`, servers subclass
+:class:`Host`, and silence surfaces as :class:`QueryTimeout`.  The
+concrete :class:`repro.net.network.Network` implements the protocol and
+re-exports these names, so the exception a transport raises and the
+exception the resolver catches are one class object.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, TYPE_CHECKING
+
+from .address import IPv4Address
+from .clock import SimulatedClock
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from typing import Protocol
+else:  # Protocol is typing-only; keep a runtime no-op base for 3.9.
+    Protocol = object
+
+__all__ = ["NetworkError", "QueryTimeout", "Host", "QueryTransport"]
+
+
+class NetworkError(Exception):
+    """Base class for simulated-network failures."""
+
+
+class QueryTimeout(NetworkError):
+    """No response arrived within the caller's timeout.
+
+    Unreachable addresses, dropped datagrams, and servers that are
+    administratively down all look identical to the client — exactly as
+    on the real Internet.
+    """
+
+    def __init__(self, destination: IPv4Address, timeout: float) -> None:
+        super().__init__(f"query to {destination} timed out after {timeout}s")
+        self.destination = destination
+        self.timeout = timeout
+
+
+class Host:
+    """Anything that can be attached to the network at an address.
+
+    Subclasses implement :meth:`handle_datagram`; returning ``None``
+    means the host silently drops the datagram (the client will time
+    out).
+    """
+
+    def handle_datagram(self, payload: Any, source: IPv4Address) -> Optional[Any]:
+        raise NotImplementedError
+
+
+class QueryTransport(Protocol):
+    """Structural type of the transport the resolver drives.
+
+    One blocking request/response exchange charged to a simulated
+    clock; the resolver never needs topology management, so the
+    protocol stays this narrow.
+    """
+
+    clock: SimulatedClock
+
+    def query(
+        self,
+        destination: IPv4Address,
+        payload: Any,
+        source: Optional[IPv4Address] = None,
+        timeout: float = 5.0,
+    ) -> Any:
+        """Return the response payload or raise :class:`QueryTimeout`."""
+        ...

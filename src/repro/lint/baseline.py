@@ -31,7 +31,7 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from .findings import Finding, normalize_snippet, snippet_digest
 
@@ -176,6 +176,58 @@ class Baseline:
             json.dumps(payload, indent=2, sort_keys=False) + "\n",
             encoding="utf-8",
         )
+
+    # ------------------------------------------------------------------
+    def prune(
+        self, root: Optional[Path] = None
+    ) -> Tuple["Baseline", List[Tuple[str, str, str]]]:
+        """Drop rows that can no longer match anything on disk.
+
+        A row is dead when its file no longer exists, or when no line of
+        the (current) file hashes to the stored fingerprint — the code
+        the row grandfathered has been deleted or rewritten.  Returns
+        ``(pruned baseline, dropped rows)`` with dropped rows as
+        ``(rule, path, display_line)`` triples; justifications and
+        display lines of surviving rows are preserved.
+
+        This is a *syntactic* liveness check, deliberately cheaper than
+        a lint run: a row whose line still exists but no longer fires
+        is reported as stale by :meth:`match` instead.
+        """
+        base = root if root is not None else Path(".")
+        digest_cache: Dict[str, Optional[Set[str]]] = {}
+        kept = Baseline()
+        dropped: List[Tuple[str, str, str]] = []
+        for key, count in sorted(self._counts.items()):
+            rule, file_path, digest = key
+            if file_path not in digest_cache:
+                candidate = base / file_path
+                if not candidate.is_file():
+                    digest_cache[file_path] = None
+                else:
+                    try:
+                        text = candidate.read_text(encoding="utf-8")
+                    except (OSError, UnicodeDecodeError):
+                        digest_cache[file_path] = None
+                    else:
+                        digest_cache[file_path] = {
+                            snippet_digest(line)
+                            for line in text.splitlines()
+                        }
+            live_digests = digest_cache[file_path]
+            if live_digests is None or digest not in live_digests:
+                dropped.extend(
+                    [(rule, file_path, self._display.get(key, ""))] * count
+                )
+                continue
+            kept._counts[key] = count
+            shown = self._display.get(key)
+            if shown is not None:
+                kept._display[key] = shown
+            note = self._justifications.get(key)
+            if note is not None:
+                kept._justifications[key] = note
+        return kept, dropped
 
     # ------------------------------------------------------------------
     def match(self, findings: Sequence[Finding]) -> BaselineMatch:

@@ -10,15 +10,19 @@ from __future__ import annotations
 import argparse
 import sys
 from pathlib import Path
-from typing import IO, List, Optional, Sequence
+from typing import IO, Any, List, Optional, Sequence
 
 from .baseline import DEFAULT_BASELINE_NAME, Baseline
 from .engine import LintEngine
+from .findings import Finding
+from .flow import FLOW_RULES, analyze_paths as analyze_flow
 from .output import FORMATS, render_json, render_sarif, render_text
 
 __all__ = ["build_parser", "configure_parser", "run", "main"]
 
-_VERSION = "1.0.0"
+_VERSION = "1.1.0"
+
+ANALYZERS = ("ast", "flow", "all")
 
 
 def configure_parser(parser: argparse.ArgumentParser) -> None:
@@ -54,6 +58,25 @@ def configure_parser(parser: argparse.ArgumentParser) -> None:
         help="ignore any baseline file; every finding is treated as new",
     )
     parser.add_argument(
+        "--analyzer",
+        choices=ANALYZERS,
+        default="all",
+        help=(
+            "which analyzer family to run: 'ast' (per-line syntactic "
+            "rules), 'flow' (interprocedural dataflow/concurrency), or "
+            "'all' (default)"
+        ),
+    )
+    parser.add_argument(
+        "--prune-baseline",
+        action="store_true",
+        help=(
+            "drop baseline rows whose file no longer exists or whose "
+            "fingerprinted line no longer appears, rewrite the file, "
+            "and exit 0"
+        ),
+    )
+    parser.add_argument(
         "--list-rules",
         action="store_true",
         help="print the rule pack and exit",
@@ -83,15 +106,48 @@ def _resolve_baseline_path(args: argparse.Namespace) -> Optional[Path]:
     return None
 
 
+def _selected_rules(engine: LintEngine, analyzer: str) -> List[Any]:
+    """Rule descriptors for reporting, per analyzer selection."""
+    rules: List[Any] = []
+    if analyzer in ("ast", "all"):
+        rules.extend(engine.rules)
+    if analyzer in ("flow", "all"):
+        rules.extend(FLOW_RULES)
+    return rules
+
+
 def run(args: argparse.Namespace, out: IO[str]) -> int:
     """Execute a lint run described by parsed arguments."""
     engine = LintEngine()
+    analyzer = getattr(args, "analyzer", "all")
     if args.list_rules:
-        for rule in engine.rules:
+        for rule in _selected_rules(engine, analyzer):
             print(
                 f"{rule.rule_id}  [{rule.severity.value}]  {rule.description}",
                 file=out,
             )
+        return 0
+
+    if getattr(args, "prune_baseline", False):
+        target = (
+            Path(args.baseline)
+            if args.baseline is not None
+            else Path(DEFAULT_BASELINE_NAME)
+        )
+        try:
+            baseline = Baseline.load(target)
+        except ValueError as exc:
+            print(f"error: {exc}", file=out)
+            return 2
+        pruned, dropped = baseline.prune()
+        pruned.dump(target)
+        for rule, path, shown in dropped:
+            print(f"pruned: [{rule}] {path}: {shown!r}", file=out)
+        print(
+            f"baseline pruned: {target} "
+            f"({len(dropped)} row(s) dropped, {len(pruned)} kept)",
+            file=out,
+        )
         return 0
 
     paths: List[Path] = [Path(p) for p in args.paths]
@@ -101,7 +157,12 @@ def run(args: argparse.Namespace, out: IO[str]) -> int:
         print(f"error: no such path(s): {shown}", file=out)
         return 2
 
-    findings = engine.lint_paths(paths)
+    findings: List[Finding] = []
+    if analyzer in ("ast", "all"):
+        findings.extend(engine.lint_paths(paths))
+    if analyzer in ("flow", "all"):
+        findings.extend(analyze_flow(paths))
+    findings.sort()
     baseline_path = _resolve_baseline_path(args)
 
     if args.write_baseline:
@@ -128,7 +189,10 @@ def run(args: argparse.Namespace, out: IO[str]) -> int:
     if args.format == "json":
         print(render_json(match), file=out)
     elif args.format == "sarif":
-        print(render_sarif(match, engine.rules, _VERSION), file=out)
+        print(
+            render_sarif(match, _selected_rules(engine, analyzer), _VERSION),
+            file=out,
+        )
     else:
         print(render_text(match), file=out)
     return 1 if match.new else 0

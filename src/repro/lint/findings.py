@@ -5,7 +5,7 @@ from __future__ import annotations
 
 import enum
 import hashlib
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Tuple
 
 
@@ -43,6 +43,23 @@ class Severity(enum.Enum):
 
 
 @dataclass(frozen=True, order=True)
+class TraceHop:
+    """One step on a finding's source→sink path.
+
+    Interprocedural findings (the ``flowlint`` family) carry the whole
+    path a tainted value travelled: where nondeterminism entered, every
+    call boundary it crossed, and the sink it reached.  Reporters
+    render the hops as SARIF ``codeFlows``/``threadFlows`` plus
+    ``relatedLocations``.
+    """
+
+    path: str
+    line: int
+    column: int
+    note: str = ""
+
+
+@dataclass(frozen=True, order=True)
 class Finding:
     """One rule violation at one source location.
 
@@ -51,7 +68,10 @@ class Finding:
     ``rule_id``, is the baseline fingerprint — deliberately
     line-number-free so unrelated edits above a grandfathered finding
     do not un-baseline it, and whitespace-insensitive so reformatting
-    does not either.
+    does not either.  ``trace`` (empty for single-location findings)
+    is the ordered source→sink hop list and stays outside the
+    fingerprint: a re-routed flow to the same sink is still the same
+    grandfathered finding.
     """
 
     path: str
@@ -61,6 +81,7 @@ class Finding:
     severity: Severity
     message: str
     snippet: str = ""
+    trace: Tuple[TraceHop, ...] = field(default=(), compare=False)
 
     def fingerprint(self) -> Tuple[str, str, str]:
         """Stable identity for baseline matching:

@@ -1,0 +1,24 @@
+"""flowlint: interprocedural determinism & task-concurrency analysis.
+
+The third analyzer family on the shared lint chassis.  Where the AST
+rule pack (``repro.lint.rules``) flags *syntactic* hazards one line at
+a time, flowlint parses the whole package once, builds a module-level
+call graph with per-function taint summaries, and reports
+nondeterminism *flows*: a wall-clock read three calls away from a
+digest is invisible to DET001 but is exactly what FLW001 exists for.
+
+Public surface: :func:`analyze_paths` / :func:`analyze_sources` run the
+whole pipeline; :data:`FLOW_RULES` carries the rule descriptors for
+reporters and ``--list-rules``.
+"""
+
+from .analyzer import FlowAnalyzer, analyze_paths, analyze_sources
+from .rules import FLOW_RULES, RULES_BY_ID
+
+__all__ = [
+    "FlowAnalyzer",
+    "analyze_paths",
+    "analyze_sources",
+    "FLOW_RULES",
+    "RULES_BY_ID",
+]

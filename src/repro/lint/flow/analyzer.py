@@ -1,0 +1,177 @@
+"""flowlint driver: harvest → call graph → taint fixpoint → findings.
+
+The whole package is parsed once (same sorted file walk as the AST
+engine), every function is summarized, and two finding families come
+out:
+
+* dataflow findings (FLW001–FLW005) from the interprocedural taint
+  phase, each carrying a source→sink trace;
+* concurrency findings (FLW101–FLW103) read directly off the summaries
+  and the call graph: generator tasks writing shared state across
+  yield points, constant-seeded RNG streams reachable from the shard
+  worker, and writes to frozen caches.
+
+Inline ``# reprolint: disable=...`` comments are honored at the line a
+finding is anchored on (the sink for dataflow findings), with exactly
+the engine's syntax and semantics.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..engine import _collect_suppressions, _display_path, iter_python_files
+from ..findings import Finding, TraceHop
+from .callgraph import CallGraph
+from .harvest import harvest_module, module_name_for
+from .model import FunctionSummary, ModuleInfo
+from .rules import RULES_BY_ID, WORKER_ROOTS
+from .taint import TaintAnalyzer
+
+__all__ = ["FlowAnalyzer", "analyze_paths", "analyze_sources"]
+
+
+class FlowAnalyzer:
+    """One whole-package flow analysis over (path, source) pairs."""
+
+    def __init__(self, sources: Sequence[Tuple[str, str]]) -> None:
+        # Sorted for deterministic summary/finding order regardless of
+        # the caller's enumeration order.
+        self.sources: List[Tuple[str, str]] = sorted(sources)
+        self.modules: List[ModuleInfo] = []
+        self.summaries: List[FunctionSummary] = []
+        self.suppressions: Dict[str, Dict[int, Set[str]]] = {}
+        self.graph: Optional[CallGraph] = None
+
+    # ------------------------------------------------------------------
+    def run(self) -> List[Finding]:
+        for path, source in self.sources:
+            modname = module_name_for(path)
+            if modname is None:
+                continue
+            try:
+                info, summaries = harvest_module(
+                    path,
+                    modname,
+                    source,
+                    is_package=path.endswith("__init__.py"),
+                )
+            except SyntaxError:
+                # The AST engine already reports PARSE findings; the
+                # flow phase just leaves broken files out of the graph.
+                continue
+            self.modules.append(info)
+            self.summaries.extend(summaries)
+            self.suppressions[path] = _collect_suppressions(
+                source.splitlines()
+            )
+        self.graph = CallGraph(self.modules, self.summaries)
+        findings = TaintAnalyzer(self.graph).run()
+        findings.extend(self._concurrency_findings())
+        findings = [f for f in findings if not self._suppressed(f)]
+        findings.sort()
+        return findings
+
+    # ------------------------------------------------------------------
+    def _concurrency_findings(self) -> List[Finding]:
+        assert self.graph is not None
+        findings: List[Finding] = []
+        reachable = self.graph.reachable_from(WORKER_ROOTS)
+        for key in sorted(self.graph.summaries):
+            summary = self.graph.summaries[key]
+            for write in summary.shared_writes:
+                if not write.after_yield:
+                    continue
+                rule = RULES_BY_ID["FLW101"]
+                findings.append(
+                    Finding(
+                        path=write.site.path,
+                        line=write.site.line,
+                        column=write.site.column,
+                        rule_id=rule.rule_id,
+                        severity=rule.severity,
+                        message=(
+                            f"generator task {summary.qualname}() writes "
+                            f"shared state '{write.target}' after a yield "
+                            "point; another task can interleave"
+                        ),
+                        snippet=write.site.text,
+                    )
+                )
+            if key in reachable:
+                for site in summary.constant_seeds:
+                    rule = RULES_BY_ID["FLW102"]
+                    findings.append(
+                        Finding(
+                            path=site.path,
+                            line=site.line,
+                            column=site.column,
+                            rule_id=rule.rule_id,
+                            severity=rule.severity,
+                            message=(
+                                f"constant-seeded random.Random() in "
+                                f"{summary.qualname}(), reachable from the "
+                                "shard worker; every shard draws the same "
+                                "stream — derive it from per-shard material"
+                            ),
+                            snippet=site.text,
+                        )
+                    )
+            for write in summary.frozen_writes:
+                rule = RULES_BY_ID["FLW103"]
+                findings.append(
+                    Finding(
+                        path=write.site.path,
+                        line=write.site.line,
+                        column=write.site.column,
+                        rule_id=rule.rule_id,
+                        severity=rule.severity,
+                        message=(
+                            f"{write.receiver}.{write.method}() after "
+                            f"{write.receiver}.freeze() (line "
+                            f"{write.freeze_line}) is a silent no-op"
+                        ),
+                        snippet=write.site.text,
+                        trace=(
+                            TraceHop(
+                                path=write.site.path,
+                                line=write.freeze_line,
+                                column=1,
+                                note=f"{write.receiver} frozen here",
+                            ),
+                            TraceHop(
+                                path=write.site.path,
+                                line=write.site.line,
+                                column=write.site.column,
+                                note=f"write via {write.method}() dropped",
+                            ),
+                        ),
+                    )
+                )
+        return findings
+
+    def _suppressed(self, finding: Finding) -> bool:
+        disabled = self.suppressions.get(finding.path, {}).get(
+            finding.line, set()
+        )
+        return "all" in disabled or finding.rule_id in disabled
+
+
+def analyze_sources(sources: Sequence[Tuple[str, str]]) -> List[Finding]:
+    """Analyze in-memory (display path, source) pairs (test harness)."""
+    return FlowAnalyzer(sources).run()
+
+
+def analyze_paths(
+    paths: Sequence[Path], root: Optional[Path] = None
+) -> List[Finding]:
+    """Analyze files and directory trees; returns sorted findings."""
+    sources: List[Tuple[str, str]] = []
+    for path in iter_python_files(paths):
+        display = _display_path(path, root)
+        try:
+            sources.append((display, path.read_text(encoding="utf-8")))
+        except (OSError, UnicodeDecodeError):
+            continue  # the AST engine reports IO findings
+    return analyze_sources(sources)

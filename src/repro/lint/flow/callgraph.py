@@ -1,0 +1,139 @@
+"""Module-level call graph over the harvested summaries.
+
+Callee *hints* recorded by the harvester are dotted names resolved
+through each module's import map (``repro.core.shard.run_campaign``,
+``repro.dns.cache.ZoneCutCache.put``, ``self``-calls pre-qualified with
+their enclosing class).  This module maps hints onto function keys
+(``module:qualname``) and exposes the edge set plus worker-root
+reachability for the concurrency rules.
+
+Resolution strategy, most to least precise:
+
+1. longest module-prefix match: split the hint at every known module
+   boundary and look for the remainder among that module's qualnames
+   (``Class.method`` and plain functions), trying ``Class`` →
+   ``Class.__init__`` for constructor calls;
+2. package re-export fallback: a hint whose tail ``Class.method`` (or
+   unique top-level name) matches exactly one summary package-wide is
+   linked to it — this is what resolves names imported through
+   ``__init__`` re-exports;
+3. otherwise unresolved (``None``) — the taint phase treats such calls
+   as conservative pass-through of receiver and arguments.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from .model import FunctionSummary, ModuleInfo
+
+__all__ = ["CallGraph"]
+
+
+class CallGraph:
+    """Summary index + resolved edges for one analyzed package."""
+
+    def __init__(
+        self,
+        modules: Sequence[ModuleInfo],
+        summaries: Sequence[FunctionSummary],
+    ) -> None:
+        self.modules: Dict[str, ModuleInfo] = {m.modname: m for m in modules}
+        self.summaries: Dict[str, FunctionSummary] = {
+            s.key: s for s in summaries
+        }
+        # Tail indexes for the re-export fallback.
+        self._by_qualname: Dict[str, List[str]] = {}
+        self._by_name: Dict[str, List[str]] = {}
+        for key in sorted(self.summaries):
+            summary = self.summaries[key]
+            self._by_qualname.setdefault(summary.qualname, []).append(key)
+            self._by_name.setdefault(summary.name, []).append(key)
+        self._hint_cache: Dict[str, Optional[str]] = {}
+        self.edges: Dict[str, Tuple[str, ...]] = {}
+        for key in sorted(self.summaries):
+            resolved = []
+            for record in self.summaries[key].calls:
+                target = self.resolve_hint(record.callee)
+                if target is not None:
+                    resolved.append(target)
+            self.edges[key] = tuple(dict.fromkeys(resolved))
+
+    # ------------------------------------------------------------------
+    def resolve_hint(self, hint: Optional[str]) -> Optional[str]:
+        """Map a dotted callee hint onto a function key, if possible."""
+        if hint is None:
+            return None
+        if hint in self._hint_cache:
+            return self._hint_cache[hint]
+        self._hint_cache[hint] = None  # cycle/err guard while resolving
+        result = self._resolve(hint)
+        self._hint_cache[hint] = result
+        return result
+
+    def _resolve(self, hint: str) -> Optional[str]:
+        # 1. Longest module-prefix match.
+        parts = hint.split(".")
+        for cut in range(len(parts) - 1, 0, -1):
+            modname = ".".join(parts[:cut])
+            if modname not in self.modules:
+                continue
+            remainder = ".".join(parts[cut:])
+            found = self._lookup_in_module(modname, remainder)
+            if found is not None:
+                return found
+            break  # the module exists; a miss means a re-export or alias
+        # 2. Package-wide unique-tail fallback.
+        if len(parts) >= 2:
+            tail = ".".join(parts[-2:])
+            keys = self._by_qualname.get(tail, [])
+            if len(keys) == 1:
+                return keys[0]
+        name = parts[-1]
+        constructors = self._by_qualname.get(f"{name}.__init__", [])
+        if name[:1].isupper() and len(constructors) == 1:
+            return constructors[0]
+        keys = self._by_qualname.get(name, [])
+        if len(keys) == 1:
+            return keys[0]
+        return None
+
+    def _lookup_in_module(
+        self, modname: str, remainder: str
+    ) -> Optional[str]:
+        direct = f"{modname}:{remainder}"
+        if direct in self.summaries:
+            return direct
+        # Constructor call: Class → Class.__init__.
+        constructor = f"{modname}:{remainder}.__init__"
+        if constructor in self.summaries:
+            return constructor
+        module = self.modules.get(modname)
+        if module is not None and "." not in remainder:
+            # Known class without an own __init__: resolvable as a
+            # class, but there is no function body to enter.
+            if remainder in module.classes:
+                return None
+        return None
+
+    # ------------------------------------------------------------------
+    def callees_of(self, key: str) -> Tuple[str, ...]:
+        return self.edges.get(key, ())
+
+    def reachable_from(self, root_names: Iterable[str]) -> Set[str]:
+        """All function keys reachable from functions with these bare
+        names (breadth-first over resolved edges)."""
+        roots = sorted(
+            key
+            for key, summary in self.summaries.items()
+            if summary.name in set(root_names)
+        )
+        seen: Set[str] = set(roots)
+        frontier: List[str] = list(roots)
+        while frontier:
+            current = frontier.pop(0)
+            for callee in self.edges.get(current, ()):
+                if callee not in seen:
+                    seen.add(callee)
+                    frontier.append(callee)
+        return seen

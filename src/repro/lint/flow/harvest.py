@@ -1,0 +1,867 @@
+"""Per-module harvesting: one AST walk per file, one summary per
+function.
+
+The local pass runs a small abstract interpreter over each function
+body: names map to sets of taint atoms, statements are visited in
+source order (a bounded number of passes reaches loop-carried
+assignments), and every call is either recognized as a source, a sink,
+an order-killer, a materialization point, or recorded as a
+:class:`~repro.lint.flow.model.CallRecord` for the interprocedural
+phase.  Method receivers are typed by lightweight local inference
+(constructor assignments and resolvable parameter annotations) so
+``cache.put(...)`` can be linked to the class that defines ``put``.
+
+Known false-negative classes (documented in DESIGN.md §12): closures
+and nested functions are summarized but not linked to their enclosing
+frame; containers are taint-opaque per element (a tainted value stored
+in a list taints the list, not index-precisely); dict iteration is
+treated as deterministic (insertion-ordered since Python 3.7).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from .model import (
+    TAINT_ENV,
+    TAINT_ORDER,
+    TAINT_RNG,
+    TAINT_SETLIKE,
+    Atom,
+    CallAtom,
+    CallRecord,
+    FrozenWrite,
+    FunctionSummary,
+    ModuleInfo,
+    ParamAtom,
+    SharedWrite,
+    SinkHit,
+    Site,
+    SourceAtom,
+)
+from .rules import (
+    ENV_MAPPING,
+    FREEZABLE_METHODS,
+    OBJECT_SOURCES,
+    ORDER_KILLERS,
+    RNG_PREFIXES,
+    RNG_SEEDED_CONSTRUCTOR,
+    SINK_CALLS,
+    SINK_TYPE_METHODS,
+    SOURCE_KINDS,
+)
+
+__all__ = ["module_name_for", "harvest_module"]
+
+_LOCAL_PASSES = 3  # bounded fixpoint for loop-carried assignments
+
+# Builtins whose result renders their argument's iteration order into
+# an ordered artifact (a string or sequence).
+_MATERIALIZERS = frozenset({"list", "tuple", "str", "repr", "format"})
+
+
+def module_name_for(path: str) -> Optional[str]:
+    """Absolute dotted module name from a display path.
+
+    ``src/repro/core/shard.py`` → ``repro.core.shard``;
+    ``src/repro/core/__init__.py`` → ``repro.core``.  Returns ``None``
+    for files outside a ``repro`` package root (fixture trees under
+    tests get their own root detection from the top-most directory that
+    contains an ``__init__``-free parent — we simply use the first path
+    component in that case).
+    """
+    parts = path.replace("\\", "/").split("/")
+    if "repro" in parts:
+        parts = parts[parts.index("repro"):]
+    if not parts or not parts[-1].endswith(".py"):
+        return None
+    parts[-1] = parts[-1][: -len(".py")]
+    if parts[-1] == "__init__":
+        parts = parts[:-1]
+    if not parts:
+        return None
+    return ".".join(parts)
+
+
+def _absolutize_imports(
+    raw: Dict[str, str], modname: str, is_package: bool
+) -> Dict[str, str]:
+    """Rewrite relative import targets as absolute dotted names."""
+    resolved: Dict[str, str] = {}
+    for local, target in raw.items():
+        if not target.startswith("."):
+            resolved[local] = target
+            continue
+        level = len(target) - len(target.lstrip("."))
+        remainder = target[level:]
+        parts = modname.split(".")
+        # From a package's __init__, one dot names the package itself.
+        climb = level - 1 if is_package else level
+        if climb >= len(parts):
+            continue  # escapes the analyzed root; unresolvable
+        base = parts[: len(parts) - climb]
+        absolute = ".".join(base + ([remainder] if remainder else []))
+        resolved[local] = absolute
+    return resolved
+
+
+def _dotted(node: ast.expr) -> Optional[str]:
+    parts: List[str] = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if not isinstance(current, ast.Name):
+        return None
+    parts.append(current.id)
+    parts.reverse()
+    return ".".join(parts)
+
+
+class _ModuleHarvester:
+    """Harvests every function/method summary of one module."""
+
+    def __init__(
+        self,
+        path: str,
+        modname: str,
+        tree: ast.Module,
+        lines: Sequence[str],
+        raw_imports: Dict[str, str],
+        is_package: bool,
+    ) -> None:
+        self.path = path
+        self.modname = modname
+        self.lines = tuple(lines)
+        self.imports = _absolutize_imports(raw_imports, modname, is_package)
+        self.tree = tree
+        self.summaries: List[FunctionSummary] = []
+        self.classes: Dict[str, List[str]] = {}
+
+    # ------------------------------------------------------------------
+    def resolve(self, node: ast.expr) -> Optional[str]:
+        """Import-qualified dotted name of an expression, or None."""
+        dotted = _dotted(node)
+        if dotted is None:
+            return None
+        head, _, rest = dotted.partition(".")
+        mapped = self.imports.get(head)
+        if mapped is None:
+            return dotted
+        return f"{mapped}.{rest}" if rest else mapped
+
+    def site(self, node: ast.AST) -> Site:
+        lineno = getattr(node, "lineno", 1)
+        column = getattr(node, "col_offset", 0) + 1
+        text = ""
+        if 1 <= lineno <= len(self.lines):
+            text = self.lines[lineno - 1].strip()
+        return Site(self.path, lineno, column, text)
+
+    # ------------------------------------------------------------------
+    def run(self) -> Tuple[List[FunctionSummary], Dict[str, List[str]]]:
+        for node in self.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._harvest_function(node, qualprefix="", classname=None)
+            elif isinstance(node, ast.ClassDef):
+                methods = [
+                    item.name
+                    for item in node.body
+                    if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+                ]
+                self.classes[node.name] = methods
+                for item in node.body:
+                    if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        self._harvest_function(
+                            item,
+                            qualprefix=f"{node.name}.",
+                            classname=node.name,
+                        )
+        return self.summaries, self.classes
+
+    def _harvest_function(
+        self,
+        node: "ast.FunctionDef | ast.AsyncFunctionDef",
+        qualprefix: str,
+        classname: Optional[str],
+    ) -> None:
+        qualname = f"{qualprefix}{node.name}"
+        summary = FunctionSummary(
+            key=f"{self.modname}:{qualname}",
+            module=self.modname,
+            path=self.path,
+            qualname=qualname,
+            lineno=node.lineno,
+        )
+        _FunctionHarvester(self, summary, node, classname).run()
+        self.summaries.append(summary)
+        # Nested defs get their own (unlinked) summaries.
+        for inner in ast.walk(node):
+            if inner is node:
+                continue
+            if isinstance(inner, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                nested = FunctionSummary(
+                    key=f"{self.modname}:{qualname}.<locals>.{inner.name}",
+                    module=self.modname,
+                    path=self.path,
+                    qualname=f"{qualname}.<locals>.{inner.name}",
+                    lineno=inner.lineno,
+                )
+                _FunctionHarvester(self, nested, inner, classname).run()
+                self.summaries.append(nested)
+
+
+class _FunctionHarvester:
+    """The local abstract interpreter for one function body."""
+
+    def __init__(
+        self,
+        module: _ModuleHarvester,
+        summary: FunctionSummary,
+        node: "ast.FunctionDef | ast.AsyncFunctionDef",
+        classname: Optional[str],
+    ) -> None:
+        self.module = module
+        self.summary = summary
+        self.node = node
+        self.classname = classname
+        args = node.args
+        self.params: List[str] = [
+            a.arg for a in (*args.posonlyargs, *args.args, *args.kwonlyargs)
+        ]
+        summary.params = list(self.params)
+        self.param_index = {name: i for i, name in enumerate(self.params)}
+        self.taint: Dict[str, Set[Atom]] = {}
+        self.types: Dict[str, str] = {}
+        self.shared_names: Set[str] = set()  # global/nonlocal declarations
+        self.freeze_lines: Dict[str, int] = {}
+        self._seen_sinks: Set[Tuple[int, int, str]] = set()
+        self._seen_calls: Set[Tuple[int, int]] = set()
+        self._yield_lines: List[int] = []
+        # Resolvable parameter annotations seed the type environment.
+        for arg in (*args.posonlyargs, *args.args, *args.kwonlyargs):
+            if arg.annotation is not None:
+                self._note_annotation(arg.arg, arg.annotation)
+
+    def _note_annotation(self, name: str, annotation: ast.expr) -> None:
+        target = annotation
+        # Unwrap Optional[X] / "X" string annotations one level.
+        if isinstance(target, ast.Subscript):
+            resolved = self.module.resolve(target.value)
+            if resolved and resolved.rpartition(".")[2] in (
+                "Optional",
+                "Final",
+            ):
+                target = (
+                    target.slice.value  # type: ignore[attr-defined]
+                    if isinstance(target.slice, ast.Index)  # pragma: no cover
+                    else target.slice
+                )
+        if isinstance(target, ast.Constant) and isinstance(target.value, str):
+            self.types[name] = target.value
+            return
+        if isinstance(target, (ast.Name, ast.Attribute)):
+            resolved = self.module.resolve(target)
+            if resolved is not None:
+                self.types[name] = resolved
+
+    # ------------------------------------------------------------------
+    def run(self) -> None:
+        self._yield_lines = sorted(
+            inner.lineno
+            for inner in self._own_nodes()
+            if isinstance(inner, (ast.Yield, ast.YieldFrom))
+        )
+        self.summary.is_generator = bool(self._yield_lines)
+        for _ in range(_LOCAL_PASSES):
+            before = {name: set(atoms) for name, atoms in self.taint.items()}
+            # Records are rebuilt from scratch every pass so the final
+            # (converged) pass — the one that saw loop-carried taint —
+            # is the one that stands, without duplicates.
+            self.summary.returns.clear()
+            self.summary.sink_hits.clear()
+            self.summary.calls.clear()
+            self.summary.shared_writes.clear()
+            self.summary.frozen_writes.clear()
+            self.summary.constant_seeds.clear()
+            self._seen_sinks.clear()
+            self._seen_calls.clear()
+            self.freeze_lines.clear()
+            for statement in self.node.body:
+                self._visit_stmt(statement)
+            if before == self.taint:
+                break
+
+    def _own_nodes(self):
+        """All nodes of this function body, skipping nested defs."""
+        stack: List[ast.AST] = list(self.node.body)
+        while stack:
+            node = stack.pop()
+            if isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                continue
+            yield node
+            stack.extend(ast.iter_child_nodes(node))
+
+    def _after_yield(self, node: ast.AST) -> bool:
+        """Can a yield point run before this node executes?
+
+        True when a yield appears earlier in source order, or when the
+        node sits inside a loop that also contains a yield (the second
+        iteration runs the write after the first iteration's yield).
+        """
+        lineno = getattr(node, "lineno", 0)
+        if any(y < lineno for y in self._yield_lines):
+            return True
+        for loop in self._own_nodes():
+            if not isinstance(loop, (ast.For, ast.While, ast.AsyncFor)):
+                continue
+            span_start = loop.lineno
+            span_end = max(
+                (getattr(n, "lineno", span_start) for n in ast.walk(loop)),
+                default=span_start,
+            )
+            if span_start <= lineno <= span_end and any(
+                span_start <= y <= span_end for y in self._yield_lines
+            ):
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+    def _visit_stmt(self, node: ast.stmt) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            return
+        if isinstance(node, (ast.Global, ast.Nonlocal)):
+            self.shared_names.update(node.names)
+            return
+        if isinstance(node, ast.Assign):
+            atoms = self._eval(node.value)
+            for target in node.targets:
+                self._assign(target, atoms, node.value)
+            return
+        if isinstance(node, ast.AnnAssign):
+            if node.value is not None:
+                atoms = self._eval(node.value)
+                self._assign(node.target, atoms, node.value)
+            if isinstance(node.target, ast.Name) and node.annotation is not None:
+                self._note_annotation(node.target.id, node.annotation)
+            return
+        if isinstance(node, ast.AugAssign):
+            atoms = self._eval(node.value)
+            if isinstance(node.target, ast.Name):
+                existing = self.taint.get(node.target.id, set())
+                self.taint[node.target.id] = existing | atoms
+                if node.target.id in self.shared_names:
+                    self._record_shared_write(node.target.id, node)
+            elif self._is_self_attribute(node.target):
+                self._record_shared_write(_dotted(node.target) or "self.?", node)
+            return
+        if isinstance(node, ast.Return):
+            if node.value is not None:
+                self.summary.returns.extend(sorted_atoms(self._eval(node.value)))
+            return
+        if isinstance(node, ast.Expr):
+            self._eval(node.value)
+            return
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            iter_atoms = self._eval(node.iter)
+            element = set()
+            for atom in iter_atoms:
+                if isinstance(atom, SourceAtom) and atom.kind == TAINT_SETLIKE:
+                    # Iterating a set in a for loop exposes hash order
+                    # to whatever the body builds.
+                    element.add(
+                        SourceAtom(
+                            TAINT_ORDER,
+                            self.module.site(node.iter),
+                            "iterates a set in hash order",
+                        )
+                    )
+                else:
+                    element.add(atom)
+            self._assign(node.target, element, node.iter)
+            for statement in (*node.body, *node.orelse):
+                self._visit_stmt(statement)
+            return
+        if isinstance(node, ast.While):
+            self._eval(node.test)
+            for statement in (*node.body, *node.orelse):
+                self._visit_stmt(statement)
+            return
+        if isinstance(node, ast.If):
+            self._eval(node.test)
+            for statement in (*node.body, *node.orelse):
+                self._visit_stmt(statement)
+            return
+        if isinstance(node, ast.Try):
+            for statement in node.body:
+                self._visit_stmt(statement)
+            for handler in node.handlers:
+                for statement in handler.body:
+                    self._visit_stmt(statement)
+            for statement in (*node.orelse, *node.finalbody):
+                self._visit_stmt(statement)
+            return
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                atoms = self._eval(item.context_expr)
+                if item.optional_vars is not None:
+                    self._assign(item.optional_vars, atoms, item.context_expr)
+            for statement in node.body:
+                self._visit_stmt(statement)
+            return
+        if isinstance(node, (ast.Assert, ast.Raise, ast.Delete)):
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, ast.expr):
+                    self._eval(child)
+            return
+        # pass/break/continue/import — nothing to do.
+
+    def _assign(
+        self, target: ast.expr, atoms: Set[Atom], value: ast.expr
+    ) -> None:
+        if isinstance(target, ast.Name):
+            self.taint[target.id] = set(atoms)
+            if target.id in self.shared_names:
+                self._record_shared_write(target.id, target)
+            # Constructor-based type inference: x = pkg.Class(...)
+            if isinstance(value, ast.Call):
+                resolved = self.module.resolve(value.func)
+                if resolved is not None:
+                    tail = resolved.rpartition(".")[2]
+                    if tail[:1].isupper():
+                        self.types[target.id] = resolved
+            return
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._assign(element, atoms, value)
+            return
+        if self._is_self_attribute(target):
+            self._record_shared_write(_dotted(target) or "self.?", target)
+            return
+        if isinstance(target, ast.Subscript):
+            base = target.value
+            if self._is_self_attribute(base) or (
+                isinstance(base, ast.Name) and base.id in self.shared_names
+            ):
+                self._record_shared_write(
+                    (_dotted(base) or "?") + "[...]", target
+                )
+
+    def _is_self_attribute(self, node: ast.expr) -> bool:
+        return (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id in ("self", "cls")
+        )
+
+    def _record_shared_write(self, target: str, node: ast.AST) -> None:
+        if not self.summary.is_generator:
+            return
+        self.summary.shared_writes.append(
+            SharedWrite(
+                target=target,
+                site=self.module.site(node),
+                after_yield=self._after_yield(node),
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Expressions
+    # ------------------------------------------------------------------
+    def _eval(self, node: ast.expr) -> Set[Atom]:
+        if isinstance(node, ast.Name):
+            atoms: Set[Atom] = set(self.taint.get(node.id, ()))
+            if node.id in self.param_index:
+                atoms.add(ParamAtom(self.param_index[node.id]))
+            return atoms
+        if isinstance(node, ast.Constant):
+            return set()
+        if isinstance(node, ast.Call):
+            return self._eval_call(node)
+        if isinstance(node, ast.Attribute):
+            resolved = self.module.resolve(node)
+            if resolved == ENV_MAPPING:
+                return {
+                    SourceAtom(
+                        TAINT_ENV, self.module.site(node), "os.environ read"
+                    )
+                }
+            return self._eval(node.value)
+        if isinstance(node, ast.Subscript):
+            if self.module.resolve(node.value) == ENV_MAPPING:
+                return {
+                    SourceAtom(
+                        TAINT_ENV,
+                        self.module.site(node),
+                        "os.environ[...] read",
+                    )
+                }
+            return self._eval(node.value) | self._eval_optional(node.slice)
+        if isinstance(node, ast.Set):
+            atoms = (
+                set().union(*(self._eval(e) for e in node.elts))
+                if node.elts
+                else set()
+            )
+            atoms.add(
+                SourceAtom(
+                    TAINT_SETLIKE, self.module.site(node), "set literal"
+                )
+            )
+            return atoms
+        if isinstance(node, ast.SetComp):
+            atoms = self._eval_comprehension(node)
+            atoms.add(
+                SourceAtom(
+                    TAINT_SETLIKE, self.module.site(node), "set comprehension"
+                )
+            )
+            return atoms
+        if isinstance(node, (ast.ListComp, ast.GeneratorExp)):
+            atoms = self._eval_comprehension(node)
+            if isinstance(node, ast.ListComp):
+                atoms = self._materialize(atoms, node)
+            return atoms
+        if isinstance(node, ast.DictComp):
+            return self._eval(node.key) | self._eval(node.value) | set().union(
+                *(self._eval(gen.iter) for gen in node.generators)
+            )
+        if isinstance(node, (ast.List, ast.Tuple)):
+            return (
+                set().union(*(self._eval(e) for e in node.elts))
+                if node.elts
+                else set()
+            )
+        if isinstance(node, ast.Dict):
+            parts = [self._eval(v) for v in node.values if v is not None]
+            parts += [self._eval(k) for k in node.keys if k is not None]
+            return set().union(*parts) if parts else set()
+        if isinstance(node, ast.JoinedStr):
+            atoms = set().union(
+                *(self._eval(v) for v in node.values)
+            ) if node.values else set()
+            return self._materialize(atoms, node)
+        if isinstance(node, ast.FormattedValue):
+            return self._eval(node.value)
+        if isinstance(node, ast.BoolOp):
+            return set().union(*(self._eval(v) for v in node.values))
+        if isinstance(node, ast.BinOp):
+            return self._eval(node.left) | self._eval(node.right)
+        if isinstance(node, ast.UnaryOp):
+            return self._eval(node.operand)
+        if isinstance(node, ast.Compare):
+            return set().union(
+                self._eval(node.left), *(self._eval(c) for c in node.comparators)
+            )
+        if isinstance(node, ast.IfExp):
+            return self._eval(node.body) | self._eval(node.orelse)
+        if isinstance(node, (ast.Yield, ast.YieldFrom)):
+            if node.value is not None:
+                self._eval(node.value)
+            return set()  # values sent back in are scheduler-mediated
+        if isinstance(node, ast.Await):
+            return self._eval(node.value)
+        if isinstance(node, ast.Starred):
+            return self._eval(node.value)
+        if isinstance(node, ast.Lambda):
+            return set()
+        if isinstance(node, ast.NamedExpr):
+            atoms = self._eval(node.value)
+            self._assign(node.target, atoms, node.value)
+            return atoms
+        return set()
+
+    def _eval_optional(self, node: ast.AST) -> Set[Atom]:
+        return self._eval(node) if isinstance(node, ast.expr) else set()
+
+    def _eval_comprehension(self, node) -> Set[Atom]:
+        atoms: Set[Atom] = set()
+        for gen in node.generators:
+            iter_atoms = self._eval(gen.iter)
+            element: Set[Atom] = set()
+            for atom in iter_atoms:
+                if isinstance(atom, SourceAtom) and atom.kind == TAINT_SETLIKE:
+                    element.add(
+                        SourceAtom(
+                            TAINT_ORDER,
+                            self.module.site(gen.iter),
+                            "iterates a set in hash order",
+                        )
+                    )
+                else:
+                    element.add(atom)
+            self._assign(gen.target, element, gen.iter)
+            atoms |= element
+            for condition in gen.ifs:
+                self._eval(condition)
+        if isinstance(node, ast.DictComp):
+            atoms |= self._eval(node.key) | self._eval(node.value)
+        else:
+            atoms |= self._eval(node.elt)
+        return atoms
+
+    def _materialize(self, atoms: Set[Atom], node: ast.AST) -> Set[Atom]:
+        """Convert latent set-likeness into concrete order taint."""
+        result: Set[Atom] = set()
+        for atom in atoms:
+            if isinstance(atom, SourceAtom) and atom.kind == TAINT_SETLIKE:
+                result.add(
+                    SourceAtom(
+                        TAINT_ORDER,
+                        self.module.site(node),
+                        "materializes set iteration order",
+                    )
+                )
+            else:
+                result.add(atom)
+        return result
+
+    # ------------------------------------------------------------------
+    def _eval_call(self, node: ast.Call) -> Set[Atom]:
+        site = self.module.site(node)
+        arg_sets = [self._eval(a) for a in node.args]
+        kw_sets = [self._eval(kw.value) for kw in node.keywords]
+        all_args: Set[Atom] = (
+            set().union(*arg_sets, *kw_sets) if (arg_sets or kw_sets) else set()
+        )
+        resolved = self.module.resolve(node.func)
+        bare = resolved.rpartition(".")[2] if resolved else None
+
+        # --- sources --------------------------------------------------
+        if resolved is not None:
+            if resolved in SOURCE_KINDS and (
+                resolved not in OBJECT_SOURCES or isinstance(node.func, ast.Name)
+            ):
+                kind = SOURCE_KINDS[resolved]
+                atoms = {SourceAtom(kind, site, f"{resolved}()")}
+                # id()/hash() of an argument also keeps the argument's
+                # own taint irrelevant — identity is the whole story.
+                return atoms
+            if resolved == RNG_SEEDED_CONSTRUCTOR:
+                if not node.args and not node.keywords:
+                    return {
+                        SourceAtom(
+                            TAINT_RNG, site, "random.Random() without a seed"
+                        )
+                    }
+                self._note_constant_seed(node, site)
+                return all_args  # seeded stream: carries the seed's taint
+            if resolved.startswith(RNG_PREFIXES):
+                return {SourceAtom(TAINT_RNG, site, f"{resolved}()")}
+
+        # --- order-killers and materializers --------------------------
+        if isinstance(node.func, ast.Name) and node.func.id in ORDER_KILLERS:
+            return {
+                atom
+                for atom in all_args
+                if not (
+                    isinstance(atom, SourceAtom)
+                    and atom.kind == TAINT_SETLIKE
+                )
+            }
+        if isinstance(node.func, ast.Name) and node.func.id in _MATERIALIZERS:
+            return self._materialize(all_args, node)
+        if isinstance(node.func, ast.Name) and node.func.id in (
+            "set",
+            "frozenset",
+        ):
+            atoms = set(all_args)
+            atoms.add(SourceAtom(TAINT_SETLIKE, site, f"{node.func.id}(...)"))
+            return atoms
+
+        # --- sinks ----------------------------------------------------
+        receiver_atoms: Set[Atom] = set()
+        receiver_type: Optional[str] = None
+        if isinstance(node.func, ast.Attribute):
+            receiver_atoms = self._eval(node.func.value)
+            if isinstance(node.func.value, ast.Name):
+                receiver_type = self.types.get(node.func.value.id)
+        self._check_sinks(node, resolved, receiver_type, all_args, site)
+        self._check_freeze(node)
+
+        # --- call record for the interprocedural phase ----------------
+        callee = self._callee_hint(node, resolved, receiver_type)
+        has_receiver = isinstance(node.func, ast.Attribute)
+        positional = ([receiver_atoms] if has_receiver else []) + arg_sets + kw_sets
+        args_tuple = tuple(frozenset(atoms) for atoms in positional)
+        key = (site.line, site.column)
+        if key not in self._seen_calls:
+            self._seen_calls.add(key)
+            self.summary.calls.append(
+                CallRecord(
+                    callee=callee,
+                    site=site,
+                    args=args_tuple,
+                    has_receiver=has_receiver,
+                )
+            )
+        return {
+            CallAtom(
+                callee=callee,
+                site=site,
+                args=args_tuple,
+                has_receiver=has_receiver,
+            )
+        }
+
+    def _note_constant_seed(self, node: ast.Call, site: Site) -> None:
+        seeds = [a for a in node.args] + [kw.value for kw in node.keywords]
+        if len(seeds) == 1 and isinstance(seeds[0], ast.Constant) and isinstance(
+            seeds[0].value, (int, float)
+        ):
+            if site not in self.summary.constant_seeds:
+                self.summary.constant_seeds.append(site)
+
+    def _check_sinks(
+        self,
+        node: ast.Call,
+        resolved: Optional[str],
+        receiver_type: Optional[str],
+        all_args: Set[Atom],
+        site: Site,
+    ) -> None:
+        label: Optional[str] = None
+        if resolved is not None:
+            for suffix, sink_label in SINK_CALLS.items():
+                if resolved == suffix or resolved.endswith("." + suffix):
+                    label = sink_label
+                    break
+        if label is None and receiver_type is not None and isinstance(
+            node.func, ast.Attribute
+        ):
+            for type_prefix, methods in SINK_TYPE_METHODS.items():
+                if receiver_type.startswith(type_prefix):
+                    label = methods.get(node.func.attr)
+                    if label is not None:
+                        break
+        if label is None or not all_args:
+            return
+        key = (site.line, site.column, label)
+        if key in self._seen_sinks:
+            return
+        self._seen_sinks.add(key)
+        self.summary.sink_hits.append(
+            SinkHit(label=label, site=site, atoms=frozenset(all_args))
+        )
+
+    def _check_freeze(self, node: ast.Call) -> None:
+        if not isinstance(node.func, ast.Attribute):
+            return
+        receiver = _dotted(node.func.value)
+        if receiver is None:
+            return
+        if node.func.attr == "freeze":
+            self.freeze_lines.setdefault(receiver, node.lineno)
+            return
+        if node.func.attr in FREEZABLE_METHODS:
+            frozen_at = self.freeze_lines.get(receiver)
+            if frozen_at is not None and node.lineno > frozen_at:
+                self.summary.frozen_writes.append(
+                    FrozenWrite(
+                        receiver=receiver,
+                        method=node.func.attr,
+                        site=self.module.site(node),
+                        freeze_line=frozen_at,
+                    )
+                )
+
+    def _callee_hint(
+        self,
+        node: ast.Call,
+        resolved: Optional[str],
+        receiver_type: Optional[str],
+    ) -> Optional[str]:
+        """A dotted-name hint the call graph can map to a function key.
+
+        ``self.method()`` resolves against the enclosing class here
+        (the one place the class is statically known); typed receivers
+        produce ``Type.method``; plain resolvable names pass through.
+        """
+        if isinstance(node.func, ast.Attribute):
+            if (
+                isinstance(node.func.value, ast.Name)
+                and node.func.value.id in ("self", "cls")
+                and self.classname is not None
+            ):
+                return (
+                    f"{self.module.modname}.{self.classname}.{node.func.attr}"
+                )
+            if receiver_type is not None:
+                return f"{receiver_type}.{node.func.attr}"
+        return resolved
+
+
+def sorted_atoms(atoms: Set[Atom]) -> List[Atom]:
+    """Deterministic atom ordering (source sites first, then params,
+    then calls by site)."""
+
+    def sort_key(atom: Atom):
+        if isinstance(atom, SourceAtom):
+            return (0, atom.kind, atom.site, atom.detail)
+        if isinstance(atom, ParamAtom):
+            return (1, atom.index, Site("", 0, 0), "")
+        return (2, "", atom.site, atom.callee or "")
+
+    return sorted(atoms, key=sort_key)
+
+
+def harvest_module(
+    path: str,
+    modname: str,
+    source: str,
+    is_package: bool,
+) -> Tuple[ModuleInfo, List[FunctionSummary]]:
+    """Parse one module and summarize every function in it.
+
+    Raises :class:`SyntaxError` upward — the analyzer reports it the
+    same way the AST engine does.
+    """
+    tree = ast.parse(source, filename=path)
+    lines = source.splitlines()
+    raw_imports = _collect_imports(tree)
+    harvester = _ModuleHarvester(
+        path, modname, tree, lines, raw_imports, is_package
+    )
+    summaries, classes = harvester.run()
+    info = ModuleInfo(
+        path=path,
+        modname=modname,
+        imports=harvester.imports,
+        lines=tuple(lines),
+        classes=classes,
+    )
+    return info, summaries
+
+
+def _collect_imports(tree: ast.Module) -> Dict[str, str]:
+    """Local alias → dotted origin (relative targets keep their dots)."""
+    imports: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.partition(".")[0]
+                target = (
+                    alias.name if alias.asname else alias.name.partition(".")[0]
+                )
+                imports[local] = target
+        elif isinstance(node, ast.ImportFrom):
+            module = "." * node.level + (node.module or "")
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                if not module:
+                    imports[local] = alias.name
+                elif module.endswith("."):
+                    # `from . import x` / `from .. import x`: the level
+                    # dots are the whole module part — appending with a
+                    # separator dot would inflate the relative level.
+                    imports[local] = module + alias.name
+                else:
+                    imports[local] = f"{module}.{alias.name}"
+    return imports

@@ -1,0 +1,401 @@
+"""Interprocedural taint propagation over function summaries.
+
+For every function the fixpoint computes three relations:
+
+``RET(f)``
+    the concrete taints its return value can carry (with the hop chain
+    back to each source);
+``PASS(f)``
+    which parameters flow through to the return value;
+``SINKPAR(f)``
+    which parameters reach a determinism sink — in ``f`` itself or in
+    anything ``f`` calls (this is what turns ``campaign_digest()`` into
+    a *derived* sink: its parameter flows into ``hashlib.sha256``
+    two calls down, so every caller passing tainted data is flagged).
+
+The analysis is context-insensitive: one summary per function, atom
+sets joined over all call sites.  Termination is by normalization —
+for every distinct (taint, source site) only the shortest hop chain is
+kept, so the per-function state lives in a finite lattice and the
+global loop stops as soon as one pass changes nothing (bounded by
+``_MAX_ROUNDS`` as a belt-and-braces guard).
+
+Findings are emitted in a final pass, anchored at the sink with the
+full source→sink hop chain attached as the finding's trace.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from ..findings import Finding, TraceHop
+from .callgraph import CallGraph
+from .model import (
+    CONCRETE_TAINTS,
+    TAINT_ORDER,
+    TAINT_SETLIKE,
+    Atom,
+    CallAtom,
+    CallRecord,
+    FunctionSummary,
+    ParamAtom,
+    Site,
+    SourceAtom,
+)
+from .rules import RULE_FOR_TAINT, RULES_BY_ID
+
+__all__ = ["TaintAnalyzer"]
+
+_MAX_ROUNDS = 24
+_MAX_HOPS = 16
+
+# A hop is (site, note); a tainted value is (kind, source-site, detail,
+# hops); a param flow is (index, hops); a sink flow is (label,
+# sink-site, hops from parameter entry to the sink).
+Hop = Tuple[Site, str]
+TV = Tuple[str, Site, str, Tuple[Hop, ...]]
+PF = Tuple[int, Tuple[Hop, ...]]
+SinkFlow = Tuple[str, Site, Tuple[Hop, ...]]
+
+
+class _FuncTaint:
+    """Fixpoint state for one function."""
+
+    __slots__ = ("ret_tvs", "ret_params", "sink_flows")
+
+    def __init__(self) -> None:
+        self.ret_tvs: FrozenSet[TV] = frozenset()
+        self.ret_params: FrozenSet[PF] = frozenset()
+        self.sink_flows: Dict[int, FrozenSet[SinkFlow]] = {}
+
+    def state(self):
+        return (
+            self.ret_tvs,
+            self.ret_params,
+            tuple(sorted(self.sink_flows.items())),
+        )
+
+
+def _shortest_tvs(tvs: Set[TV]) -> FrozenSet[TV]:
+    best: Dict[Tuple[str, Site, str], TV] = {}
+    for tv in tvs:
+        identity = tv[:3]
+        kept = best.get(identity)
+        if kept is None or len(tv[3]) < len(kept[3]):
+            best[identity] = tv
+    return frozenset(best.values())
+
+
+def _shortest_pfs(pfs: Set[PF]) -> FrozenSet[PF]:
+    best: Dict[int, PF] = {}
+    for pf in pfs:
+        kept = best.get(pf[0])
+        if kept is None or len(pf[1]) < len(kept[1]):
+            best[pf[0]] = pf
+    return frozenset(best.values())
+
+
+def _shortest_flows(flows: Set[SinkFlow]) -> FrozenSet[SinkFlow]:
+    best: Dict[Tuple[str, Site], SinkFlow] = {}
+    for flow in flows:
+        identity = flow[:2]
+        kept = best.get(identity)
+        if kept is None or len(flow[2]) < len(kept[2]):
+            best[identity] = flow
+    return frozenset(best.values())
+
+
+def _extend(hops: Tuple[Hop, ...], *extra: Hop) -> Tuple[Hop, ...]:
+    combined = hops + tuple(extra)
+    return combined[:_MAX_HOPS]
+
+
+class TaintAnalyzer:
+    """Runs the fixpoint and emits dataflow findings."""
+
+    def __init__(self, graph: CallGraph) -> None:
+        self.graph = graph
+        self.table: Dict[str, _FuncTaint] = {
+            key: _FuncTaint() for key in graph.summaries
+        }
+
+    # ------------------------------------------------------------------
+    def run(self) -> List[Finding]:
+        keys = sorted(self.graph.summaries)
+        for _ in range(_MAX_ROUNDS):
+            changed = False
+            for key in keys:
+                if self._recompute(key):
+                    changed = True
+            if not changed:
+                break
+        findings: List[Finding] = []
+        for key in keys:
+            findings.extend(self._emit(key))
+        return self._dedupe(findings)
+
+    # ------------------------------------------------------------------
+    def _recompute(self, key: str) -> bool:
+        summary = self.graph.summaries[key]
+        state = self.table[key]
+        before = state.state()
+
+        ret_tvs: Set[TV] = set(state.ret_tvs)
+        ret_params: Set[PF] = set(state.ret_params)
+        tvs, pfs = self._expand(set(summary.returns))
+        ret_tvs |= tvs
+        ret_params |= pfs
+
+        sink_flows: Dict[int, Set[SinkFlow]] = {
+            index: set(flows) for index, flows in state.sink_flows.items()
+        }
+        for hit in summary.sink_hits:
+            _, hit_pfs = self._expand(set(hit.atoms))
+            for index, hops in hit_pfs:
+                sink_flows.setdefault(index, set()).add(
+                    (
+                        hit.label,
+                        hit.site,
+                        _extend(hops, (hit.site, f"reaches {hit.label}")),
+                    )
+                )
+        for record in summary.calls:
+            callee_key = self.graph.resolve_hint(record.callee)
+            if callee_key is None:
+                continue
+            callee_state = self.table[callee_key]
+            if not callee_state.sink_flows:
+                continue
+            callee_summary = self.graph.summaries[callee_key]
+            for arg_index, param_index in _alignment(
+                callee_summary, record
+            ):
+                flows = callee_state.sink_flows.get(param_index)
+                if not flows:
+                    continue
+                _, arg_pfs = self._expand(set(record.args[arg_index]))
+                call_hop: Hop = (
+                    record.site,
+                    f"passed to {callee_summary.qualname}()",
+                )
+                for index, hops in arg_pfs:
+                    for label, sink_site, flow_hops in flows:
+                        sink_flows.setdefault(index, set()).add(
+                            (
+                                label,
+                                sink_site,
+                                _extend(hops, call_hop) + flow_hops,
+                            )
+                        )
+
+        state.ret_tvs = _shortest_tvs(ret_tvs)
+        state.ret_params = _shortest_pfs(ret_params)
+        state.sink_flows = {
+            index: _shortest_flows(flows)
+            for index, flows in sink_flows.items()
+            if flows
+        }
+        return state.state() != before
+
+    # ------------------------------------------------------------------
+    def _expand(self, atoms: Set[Atom]) -> Tuple[Set[TV], Set[PF]]:
+        tvs: Set[TV] = set()
+        pfs: Set[PF] = set()
+        for atom in atoms:
+            if isinstance(atom, SourceAtom):
+                tvs.add(
+                    (
+                        atom.kind,
+                        atom.site,
+                        atom.detail,
+                        ((atom.site, atom.detail),),
+                    )
+                )
+            elif isinstance(atom, ParamAtom):
+                pfs.add((atom.index, ()))
+            elif isinstance(atom, CallAtom):
+                call_tvs, call_pfs = self._expand_call(atom)
+                tvs |= call_tvs
+                pfs |= call_pfs
+        return tvs, pfs
+
+    def _expand_call(self, atom: CallAtom) -> Tuple[Set[TV], Set[PF]]:
+        callee_key = self.graph.resolve_hint(atom.callee)
+        if callee_key is None:
+            # Unresolved: conservative pass-through of receiver + args.
+            merged: Set[Atom] = set()
+            for arg in atom.args:
+                merged |= set(arg)
+            return self._expand(merged)
+        callee_state = self.table[callee_key]
+        callee_summary = self.graph.summaries[callee_key]
+        tvs: Set[TV] = set()
+        pfs: Set[PF] = set()
+        return_hop: Hop = (
+            atom.site,
+            f"returned by {callee_summary.qualname}()",
+        )
+        for kind, site, detail, hops in callee_state.ret_tvs:
+            tvs.add((kind, site, detail, _extend(hops, return_hop)))
+        if callee_state.ret_params:
+            alignment = dict(
+                (param, arg)
+                for arg, param in _alignment_for_atom(callee_summary, atom)
+            )
+            for param_index, param_hops in callee_state.ret_params:
+                arg_index = alignment.get(param_index)
+                if arg_index is None or arg_index >= len(atom.args):
+                    continue
+                arg_tvs, arg_pfs = self._expand(set(atom.args[arg_index]))
+                for kind, site, detail, hops in arg_tvs:
+                    tvs.add(
+                        (
+                            kind,
+                            site,
+                            detail,
+                            _extend(hops, return_hop) + param_hops,
+                        )
+                    )
+                for index, hops in arg_pfs:
+                    pfs.add((index, _extend(hops, return_hop) + param_hops))
+        return tvs, pfs
+
+    # ------------------------------------------------------------------
+    def _emit(self, key: str) -> List[Finding]:
+        summary = self.graph.summaries[key]
+        findings: List[Finding] = []
+        for hit in summary.sink_hits:
+            hit_tvs, _ = self._expand(set(hit.atoms))
+            for tv in hit_tvs:
+                finding = self._finding_for(
+                    tv,
+                    hit.label,
+                    hit.site,
+                    extra_hops=((hit.site, f"reaches {hit.label}"),),
+                )
+                if finding is not None:
+                    findings.append(finding)
+        for record in summary.calls:
+            callee_key = self.graph.resolve_hint(record.callee)
+            if callee_key is None:
+                continue
+            callee_state = self.table[callee_key]
+            if not callee_state.sink_flows:
+                continue
+            callee_summary = self.graph.summaries[callee_key]
+            for arg_index, param_index in _alignment(callee_summary, record):
+                flows = callee_state.sink_flows.get(param_index)
+                if not flows:
+                    continue
+                arg_tvs, _ = self._expand(set(record.args[arg_index]))
+                call_hop: Hop = (
+                    record.site,
+                    f"passed to {callee_summary.qualname}()",
+                )
+                for kind, site, detail, hops in arg_tvs:
+                    for label, sink_site, flow_hops in sorted(flows):
+                        finding = self._finding_for(
+                            (
+                                kind,
+                                site,
+                                detail,
+                                _extend(hops, call_hop) + flow_hops,
+                            ),
+                            label,
+                            sink_site,
+                            extra_hops=(),
+                        )
+                        if finding is not None:
+                            findings.append(finding)
+        return findings
+
+    def _finding_for(
+        self,
+        tv: TV,
+        label: str,
+        sink_site: Site,
+        extra_hops: Tuple[Hop, ...],
+    ) -> Optional[Finding]:
+        kind, source_site, detail, hops = tv
+        if kind == TAINT_SETLIKE:
+            # An unordered collection consumed whole by a sink exposes
+            # its iteration order (merge admission, serialization).
+            kind = TAINT_ORDER
+            detail = f"{detail} (iteration order consumed by sink)"
+        if kind not in CONCRETE_TAINTS:
+            return None
+        rule = RULES_BY_ID[RULE_FOR_TAINT[kind]]
+        trace = tuple(
+            TraceHop(path=site.path, line=site.line, column=site.column, note=note)
+            for site, note in (hops + extra_hops)
+        )
+        return Finding(
+            path=sink_site.path,
+            line=sink_site.line,
+            column=sink_site.column,
+            rule_id=rule.rule_id,
+            severity=rule.severity,
+            message=(
+                f"{detail} at {source_site.path}:{source_site.line} "
+                f"flows into {label}"
+            ),
+            snippet=sink_site.text,
+            trace=trace,
+        )
+
+    @staticmethod
+    def _dedupe(findings: Sequence[Finding]) -> List[Finding]:
+        best: Dict[Tuple[str, str, int, int, str], Finding] = {}
+        for finding in findings:
+            identity = (
+                finding.rule_id,
+                finding.path,
+                finding.line,
+                finding.column,
+                finding.message,
+            )
+            kept = best.get(identity)
+            if kept is None or len(finding.trace) < len(kept.trace):
+                best[identity] = finding
+        return sorted(best.values())
+
+
+def _is_method(summary: FunctionSummary) -> bool:
+    return (
+        "." in summary.qualname
+        and bool(summary.params)
+        and summary.params[0] in ("self", "cls")
+    )
+
+
+def _align(
+    summary: FunctionSummary, arg_count: int, has_receiver: bool
+) -> List[Tuple[int, int]]:
+    """(arg index, callee param index) pairs for one call.
+
+    Methods called through a receiver line up 1:1 (receiver ↔ self);
+    constructors and unbound calls shift by one; plain functions called
+    through a module attribute drop the module "receiver" slot.
+    """
+    pairs: List[Tuple[int, int]] = []
+    method = _is_method(summary)
+    for arg_index in range(arg_count):
+        if has_receiver:
+            param_index = arg_index if method else arg_index - 1
+        else:
+            param_index = arg_index + 1 if method else arg_index
+        if 0 <= param_index < len(summary.params):
+            pairs.append((arg_index, param_index))
+    return pairs
+
+
+def _alignment(
+    summary: FunctionSummary, record: CallRecord
+) -> List[Tuple[int, int]]:
+    return _align(summary, len(record.args), record.has_receiver)
+
+
+def _alignment_for_atom(
+    summary: FunctionSummary, atom: CallAtom
+) -> List[Tuple[int, int]]:
+    return _align(summary, len(atom.args), atom.has_receiver)

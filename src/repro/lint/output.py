@@ -29,8 +29,10 @@ def render_text(match: BaselineMatch) -> str:
     lines: List[str] = []
     for finding in match.new:
         lines.append(finding.render())
+        lines.extend(_trace_lines(finding))
     for finding in match.baselined:
         lines.append(f"{finding.render()} (baselined)")
+        lines.extend(_trace_lines(finding))
     for rule, path, snippet in match.stale:
         shown = snippet if len(snippet) <= 60 else snippet[:57] + "..."
         lines.append(
@@ -45,8 +47,16 @@ def render_text(match: BaselineMatch) -> str:
     return "\n".join(lines)
 
 
+def _trace_lines(finding: Finding) -> List[str]:
+    """Indented source→sink hops for the text reporter."""
+    return [
+        f"    {index}. {hop.path}:{hop.line}:{hop.column} {hop.note}"
+        for index, hop in enumerate(finding.trace, start=1)
+    ]
+
+
 def _finding_dict(finding: Finding, baselined: bool) -> Dict[str, Any]:
-    return {
+    payload: Dict[str, Any] = {
         "rule": finding.rule_id,
         "severity": finding.severity.value,
         "path": finding.path,
@@ -56,6 +66,17 @@ def _finding_dict(finding: Finding, baselined: bool) -> Dict[str, Any]:
         "snippet": finding.snippet,
         "baselined": baselined,
     }
+    if finding.trace:
+        payload["trace"] = [
+            {
+                "path": hop.path,
+                "line": hop.line,
+                "column": hop.column,
+                "note": hop.note,
+            }
+            for hop in finding.trace
+        ]
+    return payload
 
 
 def render_json(match: BaselineMatch) -> str:
@@ -78,27 +99,55 @@ def render_json(match: BaselineMatch) -> str:
     return json.dumps(payload, indent=2)
 
 
-def _sarif_result(finding: Finding, baselined: bool) -> Dict[str, Any]:
+def _physical_location(path: str, line: int, column: int) -> Dict[str, Any]:
     return {
+        "artifactLocation": {"uri": path, "uriBaseId": "SRCROOT"},
+        "region": {"startLine": line, "startColumn": column},
+    }
+
+
+def _sarif_result(finding: Finding, baselined: bool) -> Dict[str, Any]:
+    result: Dict[str, Any] = {
         "ruleId": finding.rule_id,
         "level": finding.severity.sarif_level,
         "message": {"text": finding.message},
         "baselineState": "unchanged" if baselined else "new",
         "locations": [
             {
-                "physicalLocation": {
-                    "artifactLocation": {
-                        "uri": finding.path,
-                        "uriBaseId": "SRCROOT",
-                    },
-                    "region": {
-                        "startLine": finding.line,
-                        "startColumn": finding.column,
-                    },
-                }
+                "physicalLocation": _physical_location(
+                    finding.path, finding.line, finding.column
+                )
             }
         ],
     }
+    if finding.trace:
+        # The interprocedural source→sink path: threadFlow locations in
+        # hop order (what SARIF viewers step through), mirrored as
+        # relatedLocations so flat renderers surface the hops too.
+        hop_locations = [
+            {
+                "location": {
+                    "physicalLocation": _physical_location(
+                        hop.path, hop.line, hop.column
+                    ),
+                    "message": {"text": hop.note or "flow step"},
+                }
+            }
+            for hop in finding.trace
+        ]
+        result["codeFlows"] = [
+            {"threadFlows": [{"locations": hop_locations}]}
+        ]
+        result["relatedLocations"] = [
+            {
+                "physicalLocation": _physical_location(
+                    hop.path, hop.line, hop.column
+                ),
+                "message": {"text": hop.note or "flow step"},
+            }
+            for hop in finding.trace
+        ]
+    return result
 
 
 def render_sarif(

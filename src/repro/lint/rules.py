@@ -26,7 +26,8 @@ Architecture
 ``ARCH001`` import-layering violations: ``repro.dns`` must not import
             ``repro.net``/``repro.core``, ``repro.worldgen`` and
             ``repro.zonelint`` must not import ``repro.core``, and
-            ``repro.lint`` imports nothing above the stdlib
+            ``repro.lint``/``repro.inet`` import nothing above the
+            stdlib
 """
 
 from __future__ import annotations
@@ -83,11 +84,11 @@ class WallClockRule(Rule):
             "datetime.date.today",
         }
     )
-    _EXEMPT_SUFFIX = "net/clock.py"
+    _EXEMPT_SUFFIXES = ("net/clock.py", "inet/clock.py")
 
     def visit(self, node: ast.AST, ctx: ModuleContext) -> Iterator[Finding]:
         assert isinstance(node, ast.Call)
-        if ctx.path.endswith(self._EXEMPT_SUFFIX):
+        if ctx.path.endswith(self._EXEMPT_SUFFIXES):
             return
         resolved = ctx.resolve(node.func)
         if resolved in self._BANNED:
@@ -544,19 +545,21 @@ class RetryBackoffRule(Rule):
 class ImportLayeringRule(Rule):
     """ARCH001: enforce the repository's import layering.
 
-    The dependency direction is ``lint < net < dns < worldgen <
+    The dependency direction is ``lint < inet < net < dns < worldgen <
     zonelint < core``: the DNS data model must not reach down into the
-    transport substrate or up into the analyses, world generation must
+    transport substrate or up into the analyses (the shared wire
+    primitives both need live in ``repro.inet``), world generation must
     stay measurable-by (not dependent-on) the measurement pipeline,
     zonelint must derive truth without the active pipeline it verifies,
-    and the lint package has to stay importable before anything else in
-    the tree even parses.
+    and the lint and inet packages have to stay importable before
+    anything else in the tree even parses.
     """
 
     rule_id = "ARCH001"
     description = (
         "import crosses a package layering boundary "
-        "(dns→net/core, worldgen→core, zonelint→core, lint→non-stdlib)"
+        "(dns→net/core, worldgen→core, zonelint→core, "
+        "lint/inet→non-stdlib)"
     )
     severity = Severity.ERROR
     interests = (ast.Import, ast.ImportFrom)
@@ -567,6 +570,10 @@ class ImportLayeringRule(Rule):
         ("repro.worldgen", ("repro.core",)),
         ("repro.zonelint", ("repro.core",)),
     )
+
+    # Packages that must stay importable on nothing but the stdlib and
+    # their own contents (the bottom of the layering).
+    _SELF_CONTAINED = ("repro.lint", "repro.inet")
 
     @staticmethod
     def _own_module(ctx: ModuleContext) -> Optional[str]:
@@ -631,9 +638,12 @@ class ImportLayeringRule(Rule):
         if own is None:
             return
         targets = list(self._targets(node, own))
-        if self._within(own, "repro.lint"):
-            yield from self._check_lint_layer(node, ctx, targets)
-            return
+        for package in self._SELF_CONTAINED:
+            if self._within(own, package):
+                yield from self._check_self_contained(
+                    node, ctx, targets, package
+                )
+                return
         for package, forbidden in self._FORBIDDEN:
             if not self._within(own, package):
                 continue
@@ -649,18 +659,22 @@ class ImportLayeringRule(Rule):
                         return
             return
 
-    def _check_lint_layer(
-        self, node: ast.AST, ctx: ModuleContext, targets: List[str]
+    def _check_self_contained(
+        self,
+        node: ast.AST,
+        ctx: ModuleContext,
+        targets: List[str],
+        package: str,
     ) -> Iterator[Finding]:
         stdlib = getattr(sys, "stdlib_module_names", None)
         for target in targets:
             if self._within(target, "repro"):
-                if self._within(target, "repro.lint"):
+                if self._within(target, package):
                     continue
                 yield self.finding(
                     node,
                     ctx,
-                    "repro.lint must stay importable on its own; it must "
+                    f"{package} must stay importable on its own; it must "
                     f"not import {target}",
                 )
                 return
@@ -669,8 +683,8 @@ class ImportLayeringRule(Rule):
                 yield self.finding(
                     node,
                     ctx,
-                    f"repro.lint imports non-stdlib module {head!r}; the "
-                    "lint layer depends on nothing above the stdlib",
+                    f"{package} imports non-stdlib module {head!r}; this "
+                    "layer depends on nothing above the stdlib",
                 )
                 return
 

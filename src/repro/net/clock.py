@@ -1,21 +1,21 @@
-"""Simulated time.
+"""Compatibility shim: simulated time lives in :mod:`repro.inet.clock`.
 
-Everything in the reproduction that needs a notion of "now" — DNS cache
-TTLs, passive-DNS first/last-seen timestamps, retry-round spacing — reads
-it from a :class:`SimulatedClock` instead of the wall clock.  This keeps
-every run fully deterministic and lets the world generator synthesize a
-decade (2011-2020) of history in milliseconds.
-
-Time is modeled as seconds since the Unix epoch, stored as a float.  A
-small set of calendar helpers is provided because the paper summarizes
-passive-DNS data per calendar day and per calendar year (e.g., the
-``NS_daily`` construction in Figure 5).
+The clock moved to the ``repro.inet`` bottom layer so the DNS cache can
+read simulated time without importing the transport substrate
+(ARCH001).  Everything that historically imported it from
+``repro.net.clock`` keeps working through this re-export.
 """
 
 from __future__ import annotations
 
-import datetime as _dt
-from dataclasses import dataclass, field
+from ..inet.clock import (
+    SECONDS_PER_DAY,
+    SimulatedClock,
+    date_to_epoch,
+    days_in_year,
+    epoch_to_date,
+    year_bounds,
+)
 
 __all__ = [
     "SimulatedClock",
@@ -25,70 +25,3 @@ __all__ = [
     "year_bounds",
     "days_in_year",
 ]
-
-SECONDS_PER_DAY = 86_400.0
-
-_EPOCH = _dt.datetime(1970, 1, 1, tzinfo=_dt.timezone.utc)
-
-
-def date_to_epoch(year: int, month: int = 1, day: int = 1) -> float:
-    """Return the epoch timestamp (UTC midnight) of a calendar date."""
-    moment = _dt.datetime(year, month, day, tzinfo=_dt.timezone.utc)
-    return (moment - _EPOCH).total_seconds()
-
-
-def epoch_to_date(timestamp: float) -> _dt.date:
-    """Return the UTC calendar date containing an epoch timestamp."""
-    moment = _EPOCH + _dt.timedelta(seconds=timestamp)
-    return moment.date()
-
-
-def year_bounds(year: int) -> tuple[float, float]:
-    """Return ``(start, end)`` epoch timestamps covering a calendar year.
-
-    ``end`` is exclusive: it is the first instant of the following year.
-    """
-    return date_to_epoch(year), date_to_epoch(year + 1)
-
-
-def days_in_year(year: int) -> int:
-    """Number of calendar days in a year (365 or 366)."""
-    return (_dt.date(year + 1, 1, 1) - _dt.date(year, 1, 1)).days
-
-
-@dataclass
-class SimulatedClock:
-    """A monotone, manually-advanced clock.
-
-    Parameters
-    ----------
-    now:
-        Initial time, as seconds since the Unix epoch.  Defaults to the
-        start of the paper's active-measurement campaign (April 2021).
-    """
-
-    now: float = field(default_factory=lambda: date_to_epoch(2021, 4, 1))
-
-    def advance(self, seconds: float) -> float:
-        """Move the clock forward and return the new time.
-
-        Raises :class:`ValueError` on negative increments; simulated time
-        never flows backwards.
-        """
-        if seconds < 0:
-            raise ValueError(f"cannot advance clock by {seconds!r} seconds")
-        self.now += seconds
-        return self.now
-
-    def set(self, timestamp: float) -> float:
-        """Jump the clock to an absolute time (must not move backwards)."""
-        if timestamp < self.now:
-            raise ValueError(
-                f"cannot move clock backwards from {self.now} to {timestamp}"
-            )
-        self.now = timestamp
-        return self.now
-
-    def date(self) -> _dt.date:
-        """Current UTC calendar date."""
-        return epoch_to_date(self.now)

@@ -19,6 +19,7 @@ from collections import Counter
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Optional
 
+from ..inet.transport import Host, NetworkError, QueryTimeout
 from .address import IPv4Address
 from .chaos import FaultSchedule
 from .clock import SimulatedClock
@@ -26,36 +27,6 @@ from .events import EventScheduler, PendingExchange
 from .latency import FixedLatency, LatencyModel
 
 __all__ = ["Host", "NetworkError", "QueryTimeout", "Network", "NetworkStats"]
-
-
-class NetworkError(Exception):
-    """Base class for simulated-network failures."""
-
-
-class QueryTimeout(NetworkError):
-    """No response arrived within the caller's timeout.
-
-    Unreachable addresses, dropped datagrams, and servers that are
-    administratively down all look identical to the client — exactly as
-    on the real Internet.
-    """
-
-    def __init__(self, destination: IPv4Address, timeout: float) -> None:
-        super().__init__(f"query to {destination} timed out after {timeout}s")
-        self.destination = destination
-        self.timeout = timeout
-
-
-class Host:
-    """Anything that can be attached to the network at an address.
-
-    Subclasses implement :meth:`handle_datagram`; returning ``None``
-    means the host silently drops the datagram (the client will time
-    out).
-    """
-
-    def handle_datagram(self, payload: Any, source: IPv4Address) -> Optional[Any]:
-        raise NotImplementedError
 
 
 @dataclass

@@ -10,6 +10,7 @@ import pytest
 
 from repro.lint import ALL_RULES, Baseline, LintEngine
 from repro.lint.cli import main as lint_main
+from repro.lint.flow import FLOW_RULES
 
 # One violation of each shipped rule, one file per rule.
 VIOLATIONS = {
@@ -207,9 +208,10 @@ class TestReporters:
         (run,) = document["runs"]
         driver = run["tool"]["driver"]
         assert driver["name"] == "reprolint"
+        # The default run carries both analyzer families' metadata.
         assert {r["id"] for r in driver["rules"]} == {
             rule.rule_id for rule in ALL_RULES
-        }
+        } | {rule.rule_id for rule in FLOW_RULES}
         assert len(run["results"]) == len(VIOLATIONS)
         result = run["results"][0]
         assert result["baselineState"] == "new"
@@ -236,6 +238,123 @@ class TestReporters:
             for result in document["runs"][0]["results"]
         }
         assert states == {"unchanged"}
+
+
+class TestPruneBaseline:
+    def _seed_baseline(self, violation_tree: Path, tmp_path: Path) -> Path:
+        baseline = tmp_path / "baseline.json"
+        status, _ = run_cli(
+            str(violation_tree), "--baseline", str(baseline), "--write-baseline"
+        )
+        assert status == 0
+        return baseline
+
+    def test_prune_drops_rows_for_deleted_files(self, violation_tree, tmp_path):
+        baseline = self._seed_baseline(violation_tree, tmp_path)
+        (violation_tree / "det001.py").unlink()
+        before = json.loads(baseline.read_text(encoding="utf-8"))
+        status, text = run_cli("--baseline", str(baseline), "--prune-baseline")
+        assert status == 0
+        assert "1 row(s) dropped" in text
+        after = json.loads(baseline.read_text(encoding="utf-8"))
+        assert len(after["findings"]) == len(before["findings"]) - 1
+        assert not any("det001.py" in row["path"] for row in after["findings"])
+
+    def test_prune_drops_rows_whose_line_was_rewritten(
+        self, violation_tree, tmp_path
+    ):
+        baseline = self._seed_baseline(violation_tree, tmp_path)
+        (violation_tree / "det001.py").write_text(
+            "STAMP = 0.0\n", encoding="utf-8"
+        )
+        status, text = run_cli("--baseline", str(baseline), "--prune-baseline")
+        assert status == 0
+        assert "1 row(s) dropped" in text
+        assert "det001.py" in text
+
+    def test_prune_keeps_live_rows_and_justifications(
+        self, violation_tree, tmp_path
+    ):
+        baseline = self._seed_baseline(violation_tree, tmp_path)
+        payload = json.loads(baseline.read_text(encoding="utf-8"))
+        payload["findings"][0]["justification"] = "kept on purpose"
+        baseline.write_text(json.dumps(payload), encoding="utf-8")
+        status, text = run_cli("--baseline", str(baseline), "--prune-baseline")
+        assert status == 0
+        assert "0 row(s) dropped" in text
+        after = json.loads(baseline.read_text(encoding="utf-8"))
+        assert len(after["findings"]) == len(payload["findings"])
+        assert any(
+            row.get("justification") == "kept on purpose"
+            for row in after["findings"]
+        )
+        # The pruned file still matches the live findings.
+        status, _ = run_cli(str(violation_tree), "--baseline", str(baseline))
+        assert status == 0
+
+    def test_prune_survives_whitespace_only_drift(
+        self, violation_tree, tmp_path
+    ):
+        # The liveness check hashes normalized lines, so reindenting the
+        # offending line must not drop its row.
+        baseline = self._seed_baseline(violation_tree, tmp_path)
+        original = (violation_tree / "det001.py").read_text(encoding="utf-8")
+        reindented = original.replace(
+            "STAMP = time.time()", "STAMP  =  time.time()"
+        )
+        (violation_tree / "det001.py").write_text(reindented, encoding="utf-8")
+        status, text = run_cli("--baseline", str(baseline), "--prune-baseline")
+        assert status == 0
+        assert "0 row(s) dropped" in text
+
+
+class TestAnalyzerSelector:
+    FLOW_ONLY = (
+        "import json\n"
+        "import os\n"
+        "\n"
+        "def emit():\n"
+        '    return json.dumps({"m": os.environ.get("M", "x")})\n'
+    )
+
+    def test_flow_selector_runs_only_flow_rules(self, tmp_path: Path):
+        (tmp_path / "m.py").write_text(self.FLOW_ONLY, encoding="utf-8")
+        status, text = run_cli(
+            str(tmp_path), "--analyzer", "flow", "--no-baseline"
+        )
+        assert status == 1
+        assert "FLW003" in text
+
+    def test_ast_selector_skips_flow_rules(self, tmp_path: Path):
+        (tmp_path / "m.py").write_text(self.FLOW_ONLY, encoding="utf-8")
+        status, text = run_cli(
+            str(tmp_path), "--analyzer", "ast", "--no-baseline"
+        )
+        assert status == 0
+        assert "FLW" not in text
+
+    def test_default_runs_both_families(self, tmp_path: Path):
+        source = self.FLOW_ONLY + "\nimport time\nSTAMP = time.time()\n"
+        (tmp_path / "m.py").write_text(source, encoding="utf-8")
+        status, text = run_cli(str(tmp_path), "--no-baseline")
+        assert status == 1
+        assert "FLW003" in text and "DET001" in text
+
+    def test_flow_findings_render_trace_in_text(self, tmp_path: Path):
+        (tmp_path / "m.py").write_text(self.FLOW_ONLY, encoding="utf-8")
+        _, text = run_cli(str(tmp_path), "--analyzer", "flow", "--no-baseline")
+        assert "os.environ.get" in text  # source hop note
+        assert "reaches serialized output" in text  # sink hop note
+
+    def test_list_rules_covers_both_families(self):
+        status, text = run_cli("--list-rules")
+        assert status == 0
+        assert "DET001" in text and "FLW001" in text and "FLW103" in text
+
+    def test_list_rules_respects_selector(self):
+        status, text = run_cli("--list-rules", "--analyzer", "flow")
+        assert status == 0
+        assert "FLW001" in text and "DET001" not in text
 
 
 class TestCliPlumbing:

@@ -13,6 +13,7 @@ import json
 from repro.lint import ALL_RULES, LintEngine
 from repro.lint.baseline import Baseline, BaselineMatch
 from repro.lint.findings import Finding, Severity
+from repro.lint.flow import FLOW_RULES, analyze_sources
 from repro.lint.output import render_sarif
 from repro.zonelint import RULES_BY_ID, ZL_RULES
 
@@ -91,6 +92,79 @@ def test_zonelint_sarif_shape():
         for result in document["runs"][0]["results"]
     }
     assert uris == {"world/example.gov.xx."}
+
+
+def _flow_findings():
+    findings = analyze_sources(
+        [
+            (
+                "pkg/a.py",
+                "import time\n"
+                "\n"
+                "from .b import stamp_digest\n"
+                "\n"
+                "def build():\n"
+                "    return stamp_digest(str(time.time_ns()))\n",
+            ),
+            (
+                "pkg/b.py",
+                "import hashlib\n"
+                "\n"
+                "def stamp_digest(stamp):\n"
+                "    return hashlib.sha256(stamp.encode()).hexdigest()\n",
+            ),
+        ]
+    )
+    assert findings and all(f.trace for f in findings)
+    return findings
+
+
+def test_flowlint_sarif_shape_with_thread_flows():
+    """threadFlow-bearing results must keep the base shape *and* carry
+    a well-formed codeFlows/relatedLocations pair per traced finding."""
+    findings = _flow_findings()
+    match = BaselineMatch(new=findings)
+    document = json.loads(
+        render_sarif(match, FLOW_RULES, "1.1.0", tool="reprolint")
+    )
+    assert_sarif_shape(document, "reprolint", FLOW_RULES)
+    for result in document["runs"][0]["results"]:
+        (code_flow,) = result["codeFlows"]
+        (thread_flow,) = code_flow["threadFlows"]
+        locations = thread_flow["locations"]
+        assert len(locations) >= 2  # at least source and sink
+        for step in locations:
+            physical = step["location"]["physicalLocation"]
+            assert physical["artifactLocation"]["uri"]
+            assert physical["artifactLocation"]["uriBaseId"] == "SRCROOT"
+            assert physical["region"]["startLine"] >= 1
+            assert physical["region"]["startColumn"] >= 1
+            assert step["location"]["message"]["text"]
+        related = result["relatedLocations"]
+        assert len(related) == len(locations)
+        for entry in related:
+            assert entry["physicalLocation"]["artifactLocation"]["uri"]
+            assert entry["message"]["text"]
+        # The flow starts at the source and ends at the reported sink.
+        first = locations[0]["location"]["physicalLocation"]
+        last = locations[-1]["location"]["physicalLocation"]
+        assert first["artifactLocation"]["uri"] == "pkg/a.py"
+        assert last["artifactLocation"]["uri"] == result["locations"][0][
+            "physicalLocation"
+        ]["artifactLocation"]["uri"]
+
+
+def test_single_location_findings_omit_code_flows():
+    findings = LintEngine().lint_source(
+        "import time\nSTAMP = time.time()\n", "clock.py"
+    )
+    match = BaselineMatch(new=findings)
+    document = json.loads(
+        render_sarif(match, ALL_RULES, "1.1.0", tool="reprolint")
+    )
+    for result in document["runs"][0]["results"]:
+        assert "codeFlows" not in result
+        assert "relatedLocations" not in result
 
 
 def test_zonelint_rules_have_error_severity_for_defects():
