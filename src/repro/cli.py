@@ -202,6 +202,25 @@ def build_parser() -> argparse.ArgumentParser:
         default="serial,concurrent,sharded",
         help="comma-separated configurations to run (default: all three)",
     )
+    bench.add_argument(
+        "--scales",
+        default=None,
+        metavar="S1,S2",
+        help=(
+            "comma-separated scales to bench into one suite file "
+            "(default: the top-level --scale; with --check, every "
+            "scale committed to the baseline file)"
+        ),
+    )
+    bench.add_argument(
+        "--profile",
+        action="store_true",
+        help=(
+            "cProfile the probe+analysis phases and emit a top-25 "
+            "cumulative hotspot table (text to stdout, JSON next to "
+            "--out as <out>.profile.json)"
+        ),
+    )
     return parser
 
 
@@ -558,29 +577,86 @@ def _cmd_campaign(args: argparse.Namespace, out) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace, out) -> int:
-    from .report.bench import check_probe_bench, run_probe_bench
+    from .report.bench import (
+        check_probe_bench,
+        collect_hotspots,
+        render_hotspot_table,
+        run_probe_suite,
+    )
+    from .report.export import write_json
+    from .report.perf import load_report_payload, scale_payloads
 
     labels = tuple(
         label.strip() for label in args.labels.split(",") if label.strip()
     )
-    report = run_probe_bench(
-        args.seed, args.scale, shards=args.shards, labels=labels
-    )
-    report.write(args.out)
-    print(f"benchmark report written to {args.out}", file=out)
-    for record in report.records:
-        phases = record.phases or {}
-        decomposition = " ".join(
-            f"{name}={seconds:.2f}s" for name, seconds in sorted(phases.items())
+    if args.scales is not None:
+        scales = tuple(
+            float(scale.strip())
+            for scale in args.scales.split(",")
+            if scale.strip()
         )
+    elif args.check is not None:
+        # Gate mode defaults to every scale the baseline file commits
+        # to, so "check" always means "check everything committed".
+        scales = tuple(
+            sorted(scale_payloads(load_report_payload(args.check)))
+        )
+    else:
+        scales = (args.scale,)
+
+    profiler = None
+    if args.profile:
+        import cProfile
+
+        profiler = cProfile.Profile()
+    suite = run_probe_suite(
+        args.seed, scales, shards=args.shards, labels=labels,
+        profiler=profiler,
+    )
+    suite.write(args.out)
+    print(f"benchmark suite written to {args.out}", file=out)
+    for scale in sorted(suite.reports):
+        report = suite.reports[scale]
+        print(f"scale {scale}:", file=out)
+        for record in report.records:
+            phases = record.phases or {}
+            decomposition = " ".join(
+                f"{name}={seconds:.2f}s"
+                for name, seconds in sorted(phases.items())
+            )
+            print(
+                f"  {record.label:<12} queries={record.queries_sent:<7} "
+                f"net={record.network_queries:<7} "
+                f"wall={record.wall_seconds:.2f}s "
+                f"[{decomposition}] digest={record.dataset_digest[:12]}…",
+                file=out,
+            )
+
+    if profiler is not None:
+        hotspots = collect_hotspots(profiler)
+        table = render_hotspot_table(hotspots)
+        profile_path = f"{args.out}.profile.json"
+        write_json(
+            profile_path,
+            {
+                "seed": args.seed,
+                "scales": list(scales),
+                "labels": list(labels),
+                "phases_profiled": ["probe", "merge", "analysis"],
+                "hotspots": hotspots,
+            },
+        )
+        with open(f"{args.out}.profile.txt", "w", encoding="utf-8") as fh:
+            fh.write(table + "\n")
         print(
-            f"  {record.label:<12} queries={record.queries_sent:<7} "
-            f"net={record.network_queries:<7} wall={record.wall_seconds:.2f}s "
-            f"[{decomposition}] digest={record.dataset_digest[:12]}…",
+            f"hotspot profile (top {len(hotspots)} by cumulative time, "
+            f"probe+merge+analysis phases) written to {profile_path}:",
             file=out,
         )
+        print(table, file=out)
+
     if args.check is not None:
-        violations = check_probe_bench(report, args.check)
+        violations = check_probe_bench(suite, args.check)
         if violations:
             print(f"perf gate FAILED against {args.check}:", file=out)
             for violation in violations:

@@ -75,6 +75,15 @@ class CentralizationAnalysis:
         self._top_country_count = top_country_count
         self._groups: Optional[Mapping[str, str]] = None
         self._soa_parse_failures = 0
+        # Per-year caches: Table II/III and the single-provider share
+        # all sweep the same year, so the provider matching and NS-name
+        # parsing are done once per year, not once per query.
+        self._maps_cache: Dict[
+            int, Tuple[Dict[DnsName, Tuple[str, ...]], Dict[DnsName, YearState]]
+        ] = {}
+        self._hostnames_cache: Dict[
+            int, Dict[DnsName, Tuple[DnsName, ...]]
+        ] = {}
 
     @property
     def soa_parse_failures(self) -> int:
@@ -126,38 +135,54 @@ class CentralizationAnalysis:
                 continue
         return None
 
+    def _year_hostnames(self, year: int) -> Dict[DnsName, Tuple[DnsName, ...]]:
+        """Parsed per-domain NS hostnames for one year (cached)."""
+        cached = self._hostnames_cache.get(year)
+        if cached is None:
+            cached = {
+                domain: tuple(DnsName.parse(h) for h in state.hostnames)
+                for domain, state in self._replication.year_states()
+                .get(year, {})
+                .items()
+            }
+            self._hostnames_cache[year] = cached
+        return cached
+
     def _year_provider_maps(
         self, year: int
     ) -> Tuple[Dict[DnsName, Tuple[str, ...]], Dict[DnsName, YearState]]:
-        """Per-domain provider sets for one year.
+        """Per-domain provider sets for one year (cached per year).
 
         Hostname matching first; when the NS names are vanity-branded
         and reveal nothing, fall back to the SOA MNAME/RNAME — the
         paper's §IV-B combination.
         """
-        states = self._replication.year_states().get(year, {})
-        providers: Dict[DnsName, Tuple[str, ...]] = {}
-        for domain, state in states.items():
-            hostnames = tuple(DnsName.parse(h) for h in state.hostnames)
-            matched = self._matcher.providers_of(hostnames)
-            if not matched:
-                soa = self._soa_for(domain, year)
-                if soa is not None:
-                    matched = self._matcher.providers_of((), soa=soa)
-            providers[domain] = matched
-        return providers, states
+        cached = self._maps_cache.get(year)
+        if cached is None:
+            states = self._replication.year_states().get(year, {})
+            hostnames_by_domain = self._year_hostnames(year)
+            providers: Dict[DnsName, Tuple[str, ...]] = {}
+            for domain in states:
+                matched = self._matcher.providers_of(hostnames_by_domain[domain])
+                if not matched:
+                    soa = self._soa_for(domain, year)
+                    if soa is not None:
+                        matched = self._matcher.providers_of((), soa=soa)
+                providers[domain] = matched
+            cached = (providers, states)
+            self._maps_cache[year] = cached
+        return cached
 
     # ------------------------------------------------------------------
     def usage(self, provider: str, year: int) -> ProviderUsage:
         providers, states = self._year_provider_maps(year)
+        hostnames_by_domain = self._year_hostnames(year)
         total = len(states)
         using = [d for d, keys in providers.items() if provider in keys]
         single = [
             d
             for d in using
-            if self._matcher.is_single_provider(
-                tuple(DnsName.parse(h) for h in states[d].hostnames)
-            )
+            if self._matcher.is_single_provider(hostnames_by_domain[d])
             == provider
         ]
         grouping = self._grouping()
@@ -234,9 +259,12 @@ class CentralizationAnalysis:
         providers, states = self._year_provider_maps(year)
         if not states:
             return 0.0
+        hostnames_by_domain = self._year_hostnames(year)
         singles = 0
-        for domain, state in states.items():
-            hostnames = tuple(DnsName.parse(h) for h in state.hostnames)
-            if self._matcher.is_single_provider(hostnames) is not None:
+        for domain in states:
+            if (
+                self._matcher.is_single_provider(hostnames_by_domain[domain])
+                is not None
+            ):
                 singles += 1
         return singles / len(states)

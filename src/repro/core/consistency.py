@@ -22,7 +22,13 @@ from typing import Dict, List, Mapping, Optional, Set, Tuple
 
 from ..dns.name import DnsName
 from ..registry.registrar import Quote, Registrar
-from .dataset import MeasurementDataset, ProbeResult, ServerOutcome
+from .dataset import (
+    CONSISTENCY_CODES,
+    UNCLASSIFIED,
+    MeasurementDataset,
+    ProbeResult,
+    ServerOutcome,
+)
 from .delegation import DelegationAnalysis
 
 __all__ = ["ConsistencyClass", "ConsistencyReport", "ConsistencyAnalysis"]
@@ -46,6 +52,11 @@ class ConsistencyClass:
         DISJOINT_IP_OVERLAP,
         DISJOINT,
     )
+
+
+# The dataset layer's fused column pass emits the same taxonomy, byte
+# codes indexed in ALL order; keep the two declarations locked together.
+assert CONSISTENCY_CODES == ConsistencyClass.ALL
 
 
 @dataclass(frozen=True)
@@ -129,14 +140,40 @@ class ConsistencyAnalysis:
         )
 
     def reports(self) -> Dict[DnsName, ConsistencyReport]:
+        """Per-domain taxonomy, swept from the columnar store.
+
+        Equivalent to running :meth:`classify` over every responsive
+        domain (the fused column pass computed the same verdicts once
+        for the whole dataset).
+        """
         if self._reports is None:
-            self._reports = {}
-            for result in self._dataset:
-                if not result.responsive:
+            columns = self._dataset.columns
+            reports: Dict[DnsName, ConsistencyReport] = {}
+            by_code = ConsistencyClass.ALL
+            # Same direct-__dict__ construction as the delegation
+            # sweep: skip the frozen-dataclass per-field setattr.
+            new = object.__new__
+            for domain, iso2, code, p_only, c_only, single in zip(
+                columns.domains,
+                columns.iso2,
+                columns.consistency_verdict,
+                columns.parent_only,
+                columns.child_only,
+                columns.single_label_ns,
+            ):
+                if code == UNCLASSIFIED:
                     continue
-                report = self.classify(result)
-                if report is not None:
-                    self._reports[result.domain] = report
+                report = new(ConsistencyReport)
+                report.__dict__.update(
+                    domain=domain,
+                    iso2=iso2,
+                    verdict=by_code[code],
+                    parent_only=p_only,
+                    child_only=c_only,
+                    has_single_label_ns=single != 0,
+                )
+                reports[domain] = report
+            self._reports = reports
         return self._reports
 
     # ------------------------------------------------------------------
@@ -144,38 +181,50 @@ class ConsistencyAnalysis:
     # ------------------------------------------------------------------
     def figure13(self) -> Dict[str, float]:
         """Verdict → share of classified responsive domains."""
-        reports = list(self.reports().values())
-        if not reports:
+        column = self._dataset.columns.consistency_verdict
+        total = len(column) - column.count(UNCLASSIFIED)
+        if not total:
             return {verdict: 0.0 for verdict in ConsistencyClass.ALL}
-        total = len(reports)
-        out = {}
-        for verdict in ConsistencyClass.ALL:
-            out[verdict] = (
-                sum(1 for r in reports if r.verdict == verdict) / total
-            )
-        return out
+        return {
+            verdict: column.count(code) / total
+            for code, verdict in enumerate(ConsistencyClass.ALL)
+        }
 
     def consistency_by_level(self) -> Dict[int, float]:
         """Level → share consistent (paper: 93.5% at level 2, ≤77%
         deeper)."""
-        by_level: Dict[int, List[ConsistencyReport]] = {}
-        for report in self.reports().values():
-            by_level.setdefault(report.domain.level, []).append(report)
+        columns = self._dataset.columns
+        # level → [classified, consistent]
+        by_level: Dict[int, List[int]] = {}
+        for level, code in zip(columns.level, columns.consistency_verdict):
+            if code == UNCLASSIFIED:
+                continue
+            counts = by_level.setdefault(level, [0, 0])
+            counts[0] += 1
+            if code == 0:  # ConsistencyClass.EQUAL
+                counts[1] += 1
         return {
-            level: sum(1 for r in reports if r.consistent) / len(reports)
-            for level, reports in sorted(by_level.items())
+            level: consistent / classified
+            for level, (classified, consistent) in sorted(by_level.items())
         }
 
     def figure14_by_country(self, min_domains: int = 3) -> Dict[str, float]:
         """ISO2 → disagreement rate (share of classified domains with
         P ≠ C)."""
-        grouped: Dict[str, List[ConsistencyReport]] = {}
-        for report in self.reports().values():
-            grouped.setdefault(report.iso2, []).append(report)
+        columns = self._dataset.columns
+        # ISO2 → [classified, inconsistent]
+        grouped: Dict[str, List[int]] = {}
+        for iso2, code in zip(columns.iso2, columns.consistency_verdict):
+            if code == UNCLASSIFIED:
+                continue
+            counts = grouped.setdefault(iso2, [0, 0])
+            counts[0] += 1
+            if code != 0:  # ConsistencyClass.EQUAL
+                counts[1] += 1
         return {
-            iso2: sum(1 for r in reports if not r.consistent) / len(reports)
-            for iso2, reports in grouped.items()
-            if len(reports) >= min_domains
+            iso2: inconsistent / classified
+            for iso2, (classified, inconsistent) in grouped.items()
+            if classified >= min_domains
         }
 
     def single_label_cases(self) -> List[ConsistencyReport]:

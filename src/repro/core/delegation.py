@@ -16,7 +16,13 @@ from typing import Dict, List, Mapping, Optional, Tuple
 
 from ..dns.name import DnsName
 from ..registry.registrar import Quote, Registrar
-from .dataset import MeasurementDataset, ProbeResult
+from .dataset import (
+    DEFECT_FULL,
+    DEFECT_PARTIAL,
+    UNCLASSIFIED,
+    MeasurementDataset,
+    ProbeResult,
+)
 
 __all__ = [
     "DelegationClass",
@@ -32,6 +38,9 @@ class DelegationClass:
     HEALTHY = "healthy"
     PARTIAL = "partially_defective"
     FULL = "fully_defective"
+
+    # Indexed by the dataset layer's defect-verdict byte codes.
+    BY_CODE = (HEALTHY, PARTIAL, FULL)
 
 
 @dataclass(frozen=True)
@@ -151,12 +160,45 @@ class DelegationAnalysis:
         )
 
     def reports(self) -> Dict[DnsName, DefectReport]:
+        """Per-domain verdicts, swept from the columnar store.
+
+        Equivalent to running :meth:`classify` over every domain with
+        a non-empty parent answer (the fused column pass computed the
+        same verdicts once for the whole dataset).
+        """
         if self._reports is None:
-            self._reports = {
-                result.domain: self.classify(result)
-                for result in self._dataset
-                if result.parent_nonempty
-            }
+            columns = self._dataset.columns
+            reports: Dict[DnsName, DefectReport] = {}
+            by_code = DelegationClass.BY_CODE
+            # Frozen-dataclass construction pays one object.__setattr__
+            # per field; at thousands of reports per sweep that is a
+            # visible slice of the analysis phase, so build the
+            # instance dict directly.  The result is indistinguishable
+            # from normal construction (still frozen, still eq/repr).
+            new = object.__new__
+            for domain, iso2, code, defective, in_parent, provisional in zip(
+                columns.domains,
+                columns.iso2,
+                columns.defect_verdict,
+                columns.defective_ns,
+                columns.defective_in_parent,
+                columns.defect_provisional,
+            ):
+                if code == UNCLASSIFIED:
+                    continue
+                report = new(DefectReport)
+                report.__dict__.update(
+                    domain=domain,
+                    iso2=iso2,
+                    verdict=by_code[code],
+                    defective_ns=defective,
+                    defective_in_parent=in_parent,
+                    confidence=(
+                        "provisional" if provisional else "confirmed"
+                    ),
+                )
+                reports[domain] = report
+            self._reports = reports
         return self._reports
 
     # ------------------------------------------------------------------
@@ -165,12 +207,12 @@ class DelegationAnalysis:
     def prevalence(self) -> Dict[str, float]:
         """Overall shares: any / partial-only / full (paper: 29.5%,
         25.4%, ~4%), over domains with a non-empty parent response."""
-        reports = list(self.reports().values())
-        if not reports:
+        column = self._dataset.columns.defect_verdict
+        total = len(column) - column.count(UNCLASSIFIED)
+        if not total:
             return {"any": 0.0, "partial": 0.0, "full": 0.0}
-        total = len(reports)
-        partial = sum(1 for r in reports if r.verdict == DelegationClass.PARTIAL)
-        full = sum(1 for r in reports if r.verdict == DelegationClass.FULL)
+        partial = column.count(DEFECT_PARTIAL)
+        full = column.count(DEFECT_FULL)
         return {
             "any": (partial + full) / total,
             "partial": partial / total,
@@ -188,43 +230,47 @@ class DelegationAnalysis:
         which is exactly the over-counting bound the retry exists to
         provide.
         """
-        reports = list(self.reports().values())
-        if not reports:
+        columns = self._dataset.columns
+        column = columns.defect_verdict
+        total = len(column) - column.count(UNCLASSIFIED)
+        if not total:
             return {"lower": 0.0, "upper": 0.0}
-        total = len(reports)
-        confirmed = sum(
-            1
-            for r in reports
-            if r.any_defect and r.confidence == "confirmed"
-        )
-        any_defect = sum(1 for r in reports if r.any_defect)
+        any_defect = column.count(DEFECT_PARTIAL) + column.count(DEFECT_FULL)
+        confirmed = any_defect - columns.defect_provisional.count(1)
         return {"lower": confirmed / total, "upper": any_defect / total}
 
     def prevalence_parent_only(self) -> float:
         """Share with a defective nameserver among the parent-listed
         set specifically (the paper's Figure-10a framing)."""
-        reports = list(self.reports().values())
-        if not reports:
-            return 0.0
-        affected = sum(
-            1
-            for r in reports
-            if r.defective_in_parent or r.verdict == DelegationClass.FULL
-        )
-        return affected / len(reports)
+        columns = self._dataset.columns
+        total = 0
+        affected = 0
+        for code, in_parent in zip(
+            columns.defect_verdict, columns.defective_in_parent
+        ):
+            if code == UNCLASSIFIED:
+                continue
+            total += 1
+            if in_parent or code == DEFECT_FULL:
+                affected += 1
+        return affected / total if total else 0.0
 
     def figure10_by_country(self) -> Dict[str, Dict[str, float]]:
         """ISO2 → {any, partial, full} shares."""
-        grouped: Dict[str, List[DefectReport]] = {}
-        for report in self.reports().values():
-            grouped.setdefault(report.iso2, []).append(report)
+        columns = self._dataset.columns
+        # ISO2 → [total, partial, full]
+        grouped: Dict[str, List[int]] = {}
+        for iso2, code in zip(columns.iso2, columns.defect_verdict):
+            if code == UNCLASSIFIED:
+                continue
+            counts = grouped.setdefault(iso2, [0, 0, 0])
+            counts[0] += 1
+            if code == DEFECT_PARTIAL:
+                counts[1] += 1
+            elif code == DEFECT_FULL:
+                counts[2] += 1
         out: Dict[str, Dict[str, float]] = {}
-        for iso2, reports in grouped.items():
-            total = len(reports)
-            partial = sum(
-                1 for r in reports if r.verdict == DelegationClass.PARTIAL
-            )
-            full = sum(1 for r in reports if r.verdict == DelegationClass.FULL)
+        for iso2, (total, partial, full) in grouped.items():
             out[iso2] = {
                 "domains": float(total),
                 "any": (partial + full) / total,

@@ -65,11 +65,17 @@ class DiversityAnalysis:
         )
 
     def _population(self) -> List[Tuple[ProbeResult, DomainDiversity]]:
-        """Responsive domains with >1 listed nameserver."""
+        """Responsive domains with >1 listed nameserver, filtered via
+        the responsive/ns-count columns before touching any object."""
+        columns = self._dataset.columns
+        results = self._dataset.results
         population = []
-        for result in self._dataset:
-            if not result.responsive or result.ns_count <= 1:
+        for domain, flag, count in zip(
+            columns.domains, columns.responsive, columns.ns_count
+        ):
+            if not flag or count <= 1:
                 continue
+            result = results[domain]
             diversity = self.measure_domain(result)
             if diversity is not None:
                 population.append((result, diversity))

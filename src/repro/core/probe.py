@@ -49,6 +49,7 @@ discrete-event scheduler (:mod:`repro.net.events`):
 
 from __future__ import annotations
 
+import gc
 import random
 from collections import deque
 from typing import (
@@ -879,6 +880,20 @@ class ActiveProber:
                 ),
             )
             self._network.journal = journal
+        # The campaign event loop allocates almost nothing cyclic —
+        # messages, rrsets, and generator frames all die by refcount —
+        # so the cycle detector contributes only pause time here (its
+        # pauses land on allocation sites inside the loop).  Pause it
+        # for the loop, then pay one *young-generation* collection
+        # before re-enabling: that scans only objects allocated during
+        # the probe (the dataset under construction), not the whole
+        # heap with the world in it, and resets the generation
+        # counters so the deferred debt cannot cascade into a
+        # full-heap pass in whatever phase allocates next (the
+        # analyses, typically).
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
         try:
             dataset = self._probe_all_inner(targets, journal)
         except BaseException:
@@ -893,6 +908,9 @@ class ActiveProber:
                 journal.finish(self._network)
             return dataset
         finally:
+            if gc_was_enabled:
+                gc.collect(1)
+                gc.enable()
             self._network.journal = None
 
     def _probe_all_inner(

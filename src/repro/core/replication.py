@@ -307,31 +307,42 @@ class ActiveReplicationAnalysis:
     def __init__(self, dataset: MeasurementDataset) -> None:
         self._dataset = dataset
 
-    def _listed(self) -> List[ProbeResult]:
-        """Domains for which nameservers are listed (non-empty parent)."""
-        return [r for r in self._dataset if r.parent_nonempty and r.ns_count > 0]
+    def _listed_rows(self) -> List[Tuple[str, int, int]]:
+        """(iso2, ns_count, responsive) per listed domain, swept from
+        the columns (non-empty parent, at least one nameserver)."""
+        columns = self._dataset.columns
+        return [
+            (iso2, count, flag)
+            for iso2, count, flag, code in zip(
+                columns.iso2,
+                columns.ns_count,
+                columns.responsive,
+                columns.parent_status,
+            )
+            if code <= 1 and count > 0
+        ]
 
     # ------------------------------------------------------------------
     def figure9_distribution(self) -> Dict[int, int]:
         """#nameservers listed → #domains (the Figure 9 CDF's mass)."""
         histogram: Dict[int, int] = {}
-        for result in self._listed():
-            histogram[result.ns_count] = histogram.get(result.ns_count, 0) + 1
+        for _, count, _ in self._listed_rows():
+            histogram[count] = histogram.get(count, 0) + 1
         return dict(sorted(histogram.items()))
 
     def share_with_at_least(self, count: int) -> float:
         """Fraction of listed domains with ≥ ``count`` nameservers
         (the paper's 98.4% at count=2)."""
-        listed = self._listed()
+        listed = self._listed_rows()
         if not listed:
             return 0.0
-        return sum(1 for r in listed if r.ns_count >= count) / len(listed)
+        return sum(1 for _, c, _ in listed if c >= count) / len(listed)
 
     def countries_fully_replicated(self) -> int:
         """Countries where no listed domain is single-NS (paper: 109)."""
         fully = 0
-        for iso2, results in self._by_country_listed().items():
-            if all(r.ns_count >= 2 for r in results):
+        for counts in self._by_country_listed().values():
+            if all(count >= 2 for count in counts):
                 fully += 1
         return fully
 
@@ -339,37 +350,52 @@ class ActiveReplicationAnalysis:
         """Countries where > threshold of listed domains are single-NS
         (paper: 15 at 10%)."""
         flagged = []
-        for iso2, results in self._by_country_listed().items():
-            singles = sum(1 for r in results if r.ns_count == 1)
-            if results and singles / len(results) >= threshold:
+        for iso2, counts in self._by_country_listed().items():
+            singles = sum(1 for count in counts if count == 1)
+            if counts and singles / len(counts) >= threshold:
                 flagged.append(iso2)
         return sorted(flagged)
 
-    def _by_country_listed(self) -> Dict[str, List[ProbeResult]]:
-        grouped: Dict[str, List[ProbeResult]] = {}
-        for result in self._listed():
-            grouped.setdefault(result.iso2, []).append(result)
+    def _by_country_listed(self) -> Dict[str, List[int]]:
+        """ISO2 → listed domains' nameserver counts."""
+        grouped: Dict[str, List[int]] = {}
+        for iso2, count, _ in self._listed_rows():
+            grouped.setdefault(iso2, []).append(count)
         return grouped
 
     # ------------------------------------------------------------------
     def single_ns_results(self) -> List[ProbeResult]:
-        return [r for r in self._listed() if r.ns_count == 1]
+        columns = self._dataset.columns
+        results = self._dataset.results
+        return [
+            results[domain]
+            for domain, count, code in zip(
+                columns.domains, columns.ns_count, columns.parent_status
+            )
+            if code <= 1 and count == 1
+        ]
 
     def figure8_overall(self) -> float:
         """Share of single-NS domains with no authoritative response
         (the paper's 60.1%)."""
-        singles = self.single_ns_results()
+        singles = [row for row in self._listed_rows() if row[1] == 1]
         if not singles:
             return 0.0
-        return sum(1 for r in singles if not r.responsive) / len(singles)
+        return sum(1 for _, _, flag in singles if not flag) / len(singles)
 
     def figure8_by_country(self, min_singles: int = 3) -> Dict[str, float]:
         """ISO2 → share of its d_1NS with no authoritative response."""
-        grouped: Dict[str, List[ProbeResult]] = {}
-        for result in self.single_ns_results():
-            grouped.setdefault(result.iso2, []).append(result)
+        # ISO2 → [singles, unresponsive singles]
+        grouped: Dict[str, List[int]] = {}
+        for iso2, count, flag in self._listed_rows():
+            if count != 1:
+                continue
+            counts = grouped.setdefault(iso2, [0, 0])
+            counts[0] += 1
+            if not flag:
+                counts[1] += 1
         return {
-            iso2: sum(1 for r in results if not r.responsive) / len(results)
-            for iso2, results in grouped.items()
-            if len(results) >= min_singles
+            iso2: unresponsive / singles
+            for iso2, (singles, unresponsive) in grouped.items()
+            if singles >= min_singles
         }

@@ -459,7 +459,9 @@ class ProcessCampaignRunner:
             )
             for entries, _ in collected
         ]
-        merged = MeasurementDataset.merge(parts)
+        merged = MeasurementDataset.merge(
+            parts, labels=[f"shard {index}" for index in range(len(parts))]
+        )
         if len(merged) != len(self._targets):
             raise RuntimeError(
                 f"sharded merge lost domains: {len(merged)} merged "

@@ -5,10 +5,18 @@ cares about *semantics* — is this an authoritative answer, a referral, a
 refusal, an upward referral from a lame server? — and those judgments are
 implemented here so that every analysis classifies responses the same
 way.
+
+Messages also carry a canonical packed-bytes form (:attr:`Message.packed`
+/ :attr:`Message.fingerprint`), assembled from the interned name wires
+and the RRsets' construction-time packed forms, so message equality,
+hashing, dedup, sorting, and response fingerprinting are flat ``bytes``
+comparisons.  It is computed lazily and cached: most messages in a
+campaign are built, classified semantically, and never compared.
 """
 
 from __future__ import annotations
 
+import struct
 from dataclasses import dataclass, field, replace
 from functools import lru_cache
 from typing import Optional, Tuple
@@ -32,6 +40,10 @@ class Rcode:
 
     ALL = frozenset({NOERROR, FORMERR, SERVFAIL, NXDOMAIN, NOTIMP, REFUSED})
 
+    # One-byte tags for packed message forms.
+    CODES = {NOERROR: 0, FORMERR: 1, SERVFAIL: 2, NXDOMAIN: 3, NOTIMP: 4,
+             REFUSED: 5}
+
 
 @dataclass(frozen=True)
 class Question:
@@ -43,11 +55,20 @@ class Question:
     def __post_init__(self) -> None:
         RRType.validate(self.qtype)
 
+    @property
+    def wire(self) -> bytes:
+        """Canonical bytes: interned name wire plus the type code."""
+        cached = self.__dict__.get("_wire")
+        if cached is None:
+            cached = self.qname.wire + bytes((RRType.CODES[self.qtype],))
+            object.__setattr__(self, "_wire", cached)
+        return cached
+
     def __str__(self) -> str:
         return f"{self.qname} IN {self.qtype}"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class Message:
     """A DNS message.
 
@@ -67,6 +88,58 @@ class Message:
     def __post_init__(self) -> None:
         if self.rcode not in Rcode.ALL:
             raise ValueError(f"unknown rcode: {self.rcode!r}")
+
+    # ------------------------------------------------------------------
+    # Canonical packed form
+    # ------------------------------------------------------------------
+    @property
+    def packed(self) -> bytes:
+        """Canonical bytes for the whole message, cached on first use.
+
+        Two messages are equal exactly when their packed forms are:
+        the question wire, a flags byte (QR/AA), the rcode tag, and
+        each section's RRset packed forms in section order (section
+        order was always equality-relevant; within an RRset the rdata
+        order is not, which the RRset packing already canonicalizes).
+        """
+        cached = self.__dict__.get("_packed")
+        if cached is None:
+            parts = [
+                self.question.wire,
+                bytes(((self.is_response << 1) | self.aa,
+                       Rcode.CODES[self.rcode])),
+            ]
+            for section in (self.answers, self.authority, self.additional):
+                parts.append(struct.pack("!H", len(section)))
+                for rrset in section:
+                    packed = rrset.packed
+                    parts.append(struct.pack("!H", len(packed)))
+                    parts.append(packed)
+            cached = b"".join(parts)
+            object.__setattr__(self, "_packed", cached)
+        return cached
+
+    @property
+    def fingerprint(self) -> bytes:
+        """Alias of :attr:`packed`: the response-fingerprint bytes."""
+        return self.packed
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Message):
+            return NotImplemented
+        return self.packed == other.packed
+
+    def __hash__(self) -> int:
+        cached = self.__dict__.get("_hash")
+        if cached is None:
+            cached = hash(self.packed)
+            object.__setattr__(self, "_hash", cached)
+        return cached
+
+    def __lt__(self, other: "Message") -> bool:
+        if not isinstance(other, Message):
+            return NotImplemented
+        return self.packed < other.packed
 
     # ------------------------------------------------------------------
     # Semantic predicates used throughout the measurement pipeline

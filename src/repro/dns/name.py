@@ -93,6 +93,16 @@ class DnsName:
     __slots__ = ("_labels", "_forms")
 
     def __init__(self, labels: Iterable[str]) -> None:
+        # Fast path: a label tuple that is already interned was fully
+        # validated when first seen (only validated tuples enter the
+        # table), so the per-label checks can be skipped outright.
+        # Unnormalized spellings (e.g. uppercase) miss and fall through.
+        if type(labels) is tuple:
+            hit = _INTERN.get(labels)
+            if hit is not None:
+                object.__setattr__(self, "_labels", hit[0])
+                object.__setattr__(self, "_forms", hit[1])
+                return
         validated = tuple(_validate_label(label) for label in labels)
         entry = _INTERN.get(validated)
         if entry is None:
@@ -131,7 +141,7 @@ class DnsName:
             text = text[:-1]
         if not text or text.startswith(".") or ".." in text:
             raise NameError_(f"malformed name: {text!r}")
-        return cls(text.split("."))
+        return cls(tuple(text.split(".")))
 
     # ------------------------------------------------------------------
     # Basic properties

@@ -5,10 +5,18 @@ of the whole paper), A/AAAA (nameserver addresses), SOA (whose MNAME and
 RNAME fields the provider-identification pass inspects), CNAME (alias
 chasing during resolution), and PTR/TXT/MX for completeness of the
 substrate's zones.
+
+Each rdata exposes a canonical packed-bytes form (:attr:`wire`),
+computed once per instance and cached, mirroring the RFC 1035 RDATA
+encoding (names in wire form, addresses big-endian).  The encoding is
+injective within a record type, so the RRset and Message layers can
+implement equality, hashing, dedup, and sorting as flat ``bytes``
+comparisons instead of recursive dataclass traversal.
 """
 
 from __future__ import annotations
 
+import struct
 from dataclasses import dataclass
 from typing import Union
 
@@ -43,6 +51,9 @@ class RRType:
 
     ALL = frozenset({NS, A, AAAA, SOA, CNAME, PTR, TXT, MX})
 
+    # IANA type codes, used as one-byte tags in packed forms.
+    CODES = {A: 1, NS: 2, CNAME: 5, SOA: 6, PTR: 12, MX: 15, TXT: 16, AAAA: 28}
+
     @classmethod
     def validate(cls, rrtype: str) -> str:
         if rrtype not in cls.ALL:
@@ -50,32 +61,55 @@ class RRType:
         return rrtype
 
 
+class _Packed:
+    """Mixin caching an rdata's canonical wire bytes on the instance.
+
+    The frozen dataclasses below keep their ``__dict__``, so the cache
+    slot is written through ``object.__setattr__`` on first access and
+    shared for the instance's lifetime (rdatas are immutable).
+    """
+
+    @property
+    def wire(self) -> bytes:
+        cached = self.__dict__.get("_wire")
+        if cached is None:
+            cached = self._wire_data()  # type: ignore[attr-defined]
+            object.__setattr__(self, "_wire", cached)
+        return cached
+
+
 @dataclass(frozen=True)
-class NS:
+class NS(_Packed):
     """Delegation to an authoritative nameserver, by hostname."""
 
     nsdname: DnsName
 
     rrtype = RRType.NS
 
+    def _wire_data(self) -> bytes:
+        return self.nsdname.wire
+
     def __str__(self) -> str:
         return str(self.nsdname)
 
 
 @dataclass(frozen=True)
-class A:
+class A(_Packed):
     """IPv4 address record."""
 
     address: IPv4Address
 
     rrtype = RRType.A
 
+    def _wire_data(self) -> bytes:
+        return struct.pack("!I", self.address.value)
+
     def __str__(self) -> str:
         return str(self.address)
 
 
 @dataclass(frozen=True)
-class AAAA:
+class AAAA(_Packed):
     """IPv6 address record.
 
     The study is IPv4-only ("the client retrieves the IPv4 addresses of
@@ -88,12 +122,15 @@ class AAAA:
 
     rrtype = RRType.AAAA
 
+    def _wire_data(self) -> bytes:
+        return self.address.encode("utf-8")
+
     def __str__(self) -> str:
         return self.address
 
 
 @dataclass(frozen=True)
-class SOA:
+class SOA(_Packed):
     """Start of authority.
 
     ``mname`` (primary master hostname) and ``rname`` (responsible
@@ -111,6 +148,20 @@ class SOA:
 
     rrtype = RRType.SOA
 
+    def _wire_data(self) -> bytes:
+        return (
+            self.mname.wire
+            + self.rname.wire
+            + struct.pack(
+                "!IIIII",
+                self.serial,
+                self.refresh,
+                self.retry,
+                self.expire,
+                self.minimum,
+            )
+        )
+
     def __str__(self) -> str:
         return (
             f"{self.mname} {self.rname} {self.serial} {self.refresh} "
@@ -119,19 +170,22 @@ class SOA:
 
 
 @dataclass(frozen=True)
-class CNAME:
+class CNAME(_Packed):
     """Alias record."""
 
     target: DnsName
 
     rrtype = RRType.CNAME
 
+    def _wire_data(self) -> bytes:
+        return self.target.wire
+
     def __str__(self) -> str:
         return str(self.target)
 
 
 @dataclass(frozen=True)
-class PTR:
+class PTR(_Packed):
     """Reverse-mapping pointer.
 
     The ethics section of the paper notes the probe host carried a PTR
@@ -142,30 +196,39 @@ class PTR:
 
     rrtype = RRType.PTR
 
+    def _wire_data(self) -> bytes:
+        return self.target.wire
+
     def __str__(self) -> str:
         return str(self.target)
 
 
 @dataclass(frozen=True)
-class TXT:
+class TXT(_Packed):
     """Free-text record."""
 
     text: str
 
     rrtype = RRType.TXT
 
+    def _wire_data(self) -> bytes:
+        return self.text.encode("utf-8")
+
     def __str__(self) -> str:
         return f'"{self.text}"'
 
 
 @dataclass(frozen=True)
-class MX:
+class MX(_Packed):
     """Mail-exchanger record."""
 
     preference: int
     exchange: DnsName
 
     rrtype = RRType.MX
+
+    def _wire_data(self) -> bytes:
+        return struct.pack("!H", self.preference) + self.exchange.wire
 
     def __str__(self) -> str:
         return f"{self.preference} {self.exchange}"

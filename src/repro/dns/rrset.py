@@ -3,10 +3,18 @@
 DNS groups records sharing (owner name, type) into an RRset with a
 single TTL; referrals, answers, and zone contents all move around as
 RRsets in this substrate.
+
+Every RRset carries a canonical packed-bytes form, computed lazily on
+first use and cached: owner name in wire form, the one-byte IANA type code, the
+member rdata wires sorted and deduplicated (matching the historical
+frozenset equality semantics — order-insensitive, duplicate-collapsing),
+and the TTL.  Equality, hashing, the §IV-D TTL-blind ``same_data``
+comparison, and sorting are all flat ``bytes`` operations on it.
 """
 
 from __future__ import annotations
 
+import struct
 from dataclasses import dataclass
 from typing import Iterable, Iterator, Tuple
 
@@ -16,7 +24,7 @@ from .rdata import RRType, Rdata
 __all__ = ["RRset"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class RRset:
     """An immutable set of records sharing owner name and type.
 
@@ -45,6 +53,36 @@ class RRset:
         if self.rrtype in (RRType.CNAME, RRType.SOA) and len(self.rdatas) > 1:
             raise ValueError(f"{self.rrtype} RRset must be a singleton")
 
+    @property
+    def data_key(self) -> bytes:
+        """The TTL-blind canonical form behind :meth:`same_data`.
+
+        Rdata wires are injective within a type, so sorted-and-
+        deduplicated wires are exactly the old ``frozenset(rdatas)``
+        equivalence, flattened to bytes.  Each wire is length-prefixed
+        so variable-length rdatas (TXT, names) cannot alias across
+        member boundaries.
+        """
+        cached = self.__dict__.get("_data_key")
+        if cached is None:
+            wires = sorted({rdata.wire for rdata in self.rdatas})
+            cached = (
+                self.name.wire
+                + bytes((RRType.CODES[self.rrtype],))
+                + b"".join(struct.pack("!H", len(w)) + w for w in wires)
+            )
+            object.__setattr__(self, "_data_key", cached)
+        return cached
+
+    @property
+    def packed(self) -> bytes:
+        """Canonical bytes: equal RRsets have equal ``packed`` forms."""
+        cached = self.__dict__.get("_packed")
+        if cached is None:
+            cached = self.data_key + struct.pack("!I", self.ttl)
+            object.__setattr__(self, "_packed", cached)
+        return cached
+
     @classmethod
     def of(
         cls,
@@ -70,23 +108,25 @@ class RRset:
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, RRset):
             return NotImplemented
-        return (
-            self.name == other.name
-            and self.rrtype == other.rrtype
-            and self.ttl == other.ttl
-            and frozenset(self.rdatas) == frozenset(other.rdatas)
-        )
+        return self.packed == other.packed
 
     def __hash__(self) -> int:
-        return hash((self.name, self.rrtype, self.ttl, frozenset(self.rdatas)))
+        cached = self.__dict__.get("_hash")
+        if cached is None:
+            cached = hash(self.packed)
+            object.__setattr__(self, "_hash", cached)
+        return cached
+
+    def __lt__(self, other: "RRset") -> bool:
+        # Total order consistent with equality, for deterministic
+        # sorting of RRset collections without recursive comparisons.
+        if not isinstance(other, RRset):
+            return NotImplemented
+        return self.packed < other.packed
 
     def same_data(self, other: "RRset") -> bool:
         """Equality ignoring TTL — the §IV-D consistency comparison."""
-        return (
-            self.name == other.name
-            and self.rrtype == other.rrtype
-            and frozenset(self.rdatas) == frozenset(other.rdatas)
-        )
+        return self.data_key == other.data_key
 
     def with_ttl(self, ttl: int) -> "RRset":
         return RRset(self.name, self.rrtype, ttl, self.rdatas)

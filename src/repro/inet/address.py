@@ -16,6 +16,7 @@ the public API still accepts and produces dotted-quad strings.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Iterator
 
 __all__ = ["IPv4Address", "IPv4Prefix", "BlockAllocator", "parse_ipv4"]
@@ -49,6 +50,12 @@ def _format_ipv4(value: int) -> str:
     )
 
 
+# The distinct addresses in a world are bounded by worldgen, while the
+# canonical dataset serialization stringifies them once per result
+# field; memoizing by value keeps that a dict probe.
+_format_ipv4_cached = lru_cache(maxsize=65536)(_format_ipv4)
+
+
 @dataclass(frozen=True, order=True)
 class IPv4Address:
     """An IPv4 address as an immutable value type."""
@@ -78,7 +85,7 @@ class IPv4Address:
         return IPv4Prefix(self.value & IPv4Prefix.mask_for(length), length)
 
     def __str__(self) -> str:
-        return _format_ipv4(self.value)
+        return _format_ipv4_cached(self.value)
 
     def __repr__(self) -> str:
         return f"IPv4Address({str(self)!r})"

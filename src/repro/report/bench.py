@@ -20,6 +20,9 @@ the inline suppressions below mark each deliberate call site.
 
 from __future__ import annotations
 
+import cProfile
+import gc
+import pstats
 import time
 from typing import Dict, List, Optional, Tuple
 
@@ -29,14 +32,23 @@ from ..core.shard import ProcessCampaignRunner, government_suffixes
 from ..core.study import GovernmentDnsStudy
 from ..worldgen.config import WorldConfig
 from ..worldgen.generator import WorldGenerator
-from .perf import PerfRecord, PerfReport, gate_report, load_report_payload
+from .perf import (
+    PerfRecord,
+    PerfReport,
+    PerfSuite,
+    gate_suite,
+    load_report_payload,
+)
 
 __all__ = [
     "BENCH_CONFIGS",
     "DEFAULT_SHARDS",
     "check_probe_bench",
+    "collect_hotspots",
+    "render_hotspot_table",
     "run_probe_bench",
     "run_probe_record",
+    "run_probe_suite",
 ]
 
 # The sharded record is committed at a fixed K: its network-query total
@@ -62,11 +74,15 @@ def run_probe_record(
     seed: int,
     scale: float,
     shards: Optional[int] = None,
+    profiler: Optional[cProfile.Profile] = None,
 ) -> PerfRecord:
     """Run one configuration's full campaign and measure everything.
 
     ``shards`` only applies to the ``sharded`` label (None there means
-    :data:`DEFAULT_SHARDS`).
+    :data:`DEFAULT_SHARDS`).  When ``profiler`` is given it is enabled
+    around the probe, merge, and analysis phases only — worldgen is
+    out of scope for the hotspot table, and for the sharded label the
+    worker processes are opaque (only spawn/collect/merge appear).
     """
     if label not in BENCH_CONFIGS:
         raise ValueError(f"unknown bench config: {label!r}")
@@ -82,6 +98,12 @@ def run_probe_record(
     world = WorldGenerator(WorldConfig(seed=seed, scale=scale)).generate()
     study = GovernmentDnsStudy(world, probe_config=config)
     targets = study.targets()
+    # The generated world is immutable and lives for the whole record:
+    # move it to the GC's permanent generation so the cycle detector
+    # never rescans it during the phases we are measuring (the
+    # CPython long-lived-base-state pattern; forked shard workers get
+    # the frozen heap copy-on-write for free).  Undone at record end.
+    gc.freeze()
     phases["worldgen"] = _now() - mark
 
     sim_start = world.clock.now
@@ -95,12 +117,16 @@ def run_probe_record(
             shards=shard_count,
             suffixes=government_suffixes(study.seeds().values()),
         )
+        if profiler is not None:
+            profiler.enable()
         mark = _now()
         collected = runner.collect()
         phases["probe"] = _now() - mark
         mark = _now()
         dataset = runner.merge(collected)
         phases["merge"] = _now() - mark
+        if profiler is not None:
+            profiler.disable()
         study._dataset = dataset
         queries_sent = sum(s.queries_sent for s in runner.shard_stats)
         network_queries = base_network_queries + sum(
@@ -121,9 +147,13 @@ def run_probe_record(
             world.probe_source,
             config=config,
         )
+        if profiler is not None:
+            profiler.enable()
         mark = _now()
         dataset = prober.probe_all(targets)
         phases["probe"] = _now() - mark
+        if profiler is not None:
+            profiler.disable()
         phases["merge"] = 0.0
         study._dataset = dataset
         queries_sent = prober.queries_sent
@@ -131,14 +161,31 @@ def run_probe_record(
         timeouts = world.network.stats.timeouts
         simulated = world.clock.now - sim_start
 
+    # Same pattern for the finished dataset: it is read-only from here
+    # on, so freeze it too — the analyses then run against an empty
+    # young heap and the collector has nothing old to rescan.
+    gc.freeze()
+
+    if profiler is not None:
+        profiler.enable()
     mark = _now()
     study.delegation().reports()
     study.consistency().reports()
     phases["analysis"] = _now() - mark
+    if profiler is not None:
+        profiler.disable()
+
+    # Record isolation: hand the heap back to the collector and reap
+    # this record's cycles now, so the next record's phases never pay
+    # for this one's garbage.
+    gc.unfreeze()
+    gc.collect()
 
     # The inter-round wait is methodology, not engine cost: subtract it
-    # to compare what the engine actually controls.
-    retried = any(r.retried for r in dataset.results.values())
+    # to compare what the engine actually controls.  The analyses above
+    # materialized the columnar store, so the counters below are free
+    # column scans.
+    retried = 1 in dataset.columns.retried
     waits = config.retry_interval_days * 86_400 if retried else 0.0
     return PerfRecord(
         label=label,
@@ -153,9 +200,7 @@ def run_probe_record(
         queries_sent=queries_sent,
         network_queries=network_queries,
         timeouts=timeouts,
-        responsive_domains=sum(
-            1 for r in dataset.results.values() if r.responsive
-        ),
+        responsive_domains=dataset.columns.responsive.count(1),
         dataset_digest=dataset_digest(dataset),
         shards=shard_count,
         phases={name: round(phases[name], 3) for name in sorted(phases)},
@@ -167,18 +212,96 @@ def run_probe_bench(
     scale: float,
     shards: Optional[int] = None,
     labels: Tuple[str, ...] = ("serial", "concurrent", "sharded"),
+    profiler: Optional[cProfile.Profile] = None,
 ) -> PerfReport:
     """Run the benchmark suite; ``serial`` (when present) is the
     baseline for reduction ratios."""
     report = PerfReport(scale=scale, seed=seed)
     for label in labels:
         report.add(
-            run_probe_record(label, seed, scale, shards=shards),
+            run_probe_record(
+                label, seed, scale, shards=shards, profiler=profiler
+            ),
             baseline=(label == "serial"),
         )
     return report
 
 
-def check_probe_bench(report: PerfReport, committed_path: str) -> List[str]:
-    """Gate a fresh report against the committed baseline file."""
-    return gate_report(report, load_report_payload(committed_path))
+def run_probe_suite(
+    seed: int,
+    scales: Tuple[float, ...],
+    shards: Optional[int] = None,
+    labels: Tuple[str, ...] = ("serial", "concurrent", "sharded"),
+    profiler: Optional[cProfile.Profile] = None,
+) -> PerfSuite:
+    """Run the full benchmark at each scale into one suite."""
+    suite = PerfSuite(seed=seed)
+    for scale in scales:
+        suite.add(
+            run_probe_bench(
+                seed, scale, shards=shards, labels=labels, profiler=profiler
+            )
+        )
+    return suite
+
+
+def check_probe_bench(suite: PerfSuite, committed_path: str) -> List[str]:
+    """Gate a fresh suite against the committed baseline file.
+
+    Every scale present in the committed file is checked (suite files
+    carry several; legacy single-report files carry one).
+    """
+    return gate_suite(suite, load_report_payload(committed_path))
+
+
+# ----------------------------------------------------------------------
+# Hotspot profiling (``repro bench --profile``)
+# ----------------------------------------------------------------------
+def _short_location(filename: str, lineno: int, name: str) -> str:
+    """``pkg/module.py:123(func)`` with site-packages noise stripped."""
+    if name == "<built-in method builtins.exec>":
+        return name
+    for marker in ("/repro/", "/lib/python"):
+        cut = filename.rfind(marker)
+        if cut != -1:
+            filename = filename[cut + 1 :]
+            break
+    if filename.startswith("~"):  # pstats' marker for built-ins
+        return name
+    return f"{filename}:{lineno}({name})"
+
+
+def collect_hotspots(
+    profiler: cProfile.Profile, top: int = 25
+) -> List[Dict[str, object]]:
+    """Top-``top`` functions by cumulative time, as JSON-ready rows."""
+    stats = pstats.Stats(profiler)
+    stats.sort_stats("cumulative")
+    rows: List[Dict[str, object]] = []
+    for func in stats.fcn_list[:top]:  # type: ignore[attr-defined]
+        cc, nc, tt, ct, _callers = stats.stats[func]  # type: ignore[attr-defined]
+        filename, lineno, name = func
+        rows.append(
+            {
+                "function": _short_location(filename, lineno, name),
+                "ncalls": nc,
+                "primitive_calls": cc,
+                "tottime": round(tt, 4),
+                "cumtime": round(ct, 4),
+            }
+        )
+    return rows
+
+
+def render_hotspot_table(rows: List[Dict[str, object]]) -> str:
+    """Fixed-width text rendering of :func:`collect_hotspots` rows."""
+    lines = [
+        f"{'ncalls':>10} {'tottime':>9} {'cumtime':>9}  function",
+        f"{'-' * 10} {'-' * 9} {'-' * 9}  {'-' * 40}",
+    ]
+    for row in rows:
+        lines.append(
+            f"{row['ncalls']:>10} {row['tottime']:>9.3f} "
+            f"{row['cumtime']:>9.3f}  {row['function']}"
+        )
+    return "\n".join(lines)

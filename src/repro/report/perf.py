@@ -29,7 +29,15 @@ from typing import Dict, List, Optional
 
 from .export import to_json, write_json
 
-__all__ = ["PerfRecord", "PerfReport", "gate_report", "load_report_payload"]
+__all__ = [
+    "PerfRecord",
+    "PerfReport",
+    "PerfSuite",
+    "gate_report",
+    "gate_suite",
+    "load_report_payload",
+    "scale_payloads",
+]
 
 # Fields that are pure functions of (seed, scale, config): any drift is
 # a real behaviour change, never runner noise.
@@ -136,6 +144,45 @@ class PerfReport:
         write_json(path, self.payload())
 
 
+@dataclass
+class PerfSuite:
+    """Per-scale :class:`PerfReport` collection under one seed.
+
+    ``BENCH_probe.json`` historically held a single report at one
+    scale; the suite format (``"format": 2``) keys full reports by
+    scale so the regression gate covers *every* committed scale, not
+    just the one the CLI happened to be invoked with.
+    """
+
+    seed: int
+    reports: Dict[float, PerfReport] = field(default_factory=dict)
+
+    def add(self, report: PerfReport) -> None:
+        if report.seed != self.seed:
+            raise ValueError(
+                f"report seed {report.seed} != suite seed {self.seed}"
+            )
+        if report.scale in self.reports:
+            raise ValueError(f"duplicate suite scale: {report.scale}")
+        self.reports[report.scale] = report
+
+    def payload(self) -> Dict[str, object]:
+        return {
+            "format": 2,
+            "seed": self.seed,
+            "scales": {
+                str(scale): self.reports[scale].payload()
+                for scale in sorted(self.reports)
+            },
+        }
+
+    def to_json(self) -> str:
+        return to_json(self.payload())
+
+    def write(self, path: str) -> None:
+        write_json(path, self.payload())
+
+
 # ----------------------------------------------------------------------
 # Regression gate
 # ----------------------------------------------------------------------
@@ -143,6 +190,47 @@ def load_report_payload(path: str) -> Dict[str, object]:
     """Read a previously written BENCH_probe.json payload."""
     with open(path, "r", encoding="utf-8") as fh:
         return json.load(fh)
+
+
+def scale_payloads(committed: Dict[str, object]) -> Dict[float, Dict[str, object]]:
+    """Per-scale report payloads from a committed file, either format.
+
+    Suite files (``"format": 2``) carry a ``scales`` mapping; legacy
+    single-report files *are* the payload and declare their own scale.
+    """
+    scales = committed.get("scales")
+    if isinstance(scales, dict):
+        out: Dict[float, Dict[str, object]] = {}
+        for key, payload in scales.items():
+            assert isinstance(payload, dict)
+            out[float(key)] = payload
+        return out
+    return {float(committed["scale"]): committed}  # type: ignore[arg-type]
+
+
+def gate_suite(
+    current: "PerfSuite", committed: Dict[str, object]
+) -> List[str]:
+    """Gate a fresh suite against a committed payload, every scale.
+
+    Each scale committed to the baseline file must be present in the
+    current run and pass :func:`gate_report`; scales only present in
+    the current run are allowed (that is how a scale is introduced).
+    """
+    violations: List[str] = []
+    for scale, payload in sorted(scale_payloads(committed).items()):
+        report = current.reports.get(scale)
+        if report is None:
+            violations.append(
+                f"scale {scale} present in committed baseline but "
+                f"missing from this run"
+            )
+            continue
+        violations.extend(
+            f"scale {scale}: {violation}"
+            for violation in gate_report(report, payload)
+        )
+    return violations
 
 
 def gate_report(

@@ -1,0 +1,171 @@
+"""The multi-scale perf gate and the hotspot-profile surface.
+
+``BENCH_probe.json`` is a format-2 *suite*: one seed, several scales,
+each scale a full report.  The gate (`gate_suite`) must check every
+committed scale — a scale silently dropped from a run is a regression
+— and prefix violations with the scale so CI output is attributable.
+The hotspot profiler behind ``repro bench --profile`` is exercised
+end-to-end through the CLI.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.report.bench import collect_hotspots, render_hotspot_table
+from repro.report.perf import (
+    GATED_FIELDS,
+    PerfRecord,
+    PerfReport,
+    PerfSuite,
+    gate_suite,
+    scale_payloads,
+)
+
+
+def record(label="serial", **overrides):
+    values = dict(
+        label=label,
+        max_in_flight=1,
+        zone_cut_caching=False,
+        targets=100,
+        wall_seconds=1.0,
+        simulated_seconds=50.0,
+        active_seconds=50.0,
+        queries_sent=1000,
+        network_queries=1500,
+        timeouts=3,
+        responsive_domains=90,
+        dataset_digest="ab" * 32,
+    )
+    values.update(overrides)
+    return PerfRecord(**values)
+
+
+def suite(scales=(0.02, 0.05), seed=7, **overrides):
+    built = PerfSuite(seed=seed)
+    for scale in scales:
+        report = PerfReport(scale=scale, seed=seed)
+        report.add(record(**overrides), baseline=True)
+        built.add(report)
+    return built
+
+
+class TestScalePayloads:
+    def test_suite_format_yields_one_payload_per_scale(self):
+        payloads = scale_payloads(suite().payload())
+        assert set(payloads) == {0.02, 0.05}
+        assert payloads[0.05]["scale"] == 0.05
+
+    def test_legacy_single_report_format_still_reads(self):
+        legacy = PerfReport(scale=0.05, seed=7)
+        legacy.add(record(), baseline=True)
+        payloads = scale_payloads(json.loads(legacy.to_json()))
+        assert set(payloads) == {0.05}
+        assert payloads[0.05]["records"]["serial"]["targets"] == 100
+
+
+class TestGateSuite:
+    def committed(self, **kwargs):
+        return json.loads(suite(**kwargs).to_json())
+
+    def test_identical_suites_pass(self):
+        assert gate_suite(suite(), self.committed()) == []
+
+    def test_missing_scale_is_a_violation(self):
+        violations = gate_suite(
+            suite(scales=(0.05,)), self.committed(scales=(0.02, 0.05))
+        )
+        assert violations == [
+            "scale 0.02 present in committed baseline but missing from "
+            "this run"
+        ]
+
+    def test_extra_scale_in_current_run_is_allowed(self):
+        violations = gate_suite(
+            suite(scales=(0.02, 0.05, 0.15)),
+            self.committed(scales=(0.02, 0.05)),
+        )
+        assert violations == []
+
+    @pytest.mark.parametrize(
+        "fieldname,drifted",
+        [
+            ("queries_sent", 999),
+            ("network_queries", 1),
+            ("timeouts", 4),
+            ("responsive_domains", 89),
+            ("targets", 101),
+            ("dataset_digest", "cd" * 32),
+        ],
+    )
+    def test_counter_drift_is_flagged_with_scale_prefix(
+        self, fieldname, drifted
+    ):
+        assert fieldname in GATED_FIELDS
+        violations = gate_suite(
+            suite(**{fieldname: drifted}), self.committed()
+        )
+        assert len(violations) == 2  # both scales drifted
+        for scale, violation in zip((0.02, 0.05), violations):
+            assert violation.startswith(f"scale {scale}: ")
+            assert f"serial.{fieldname}" in violation
+
+    def test_wall_clock_drift_is_advisory(self):
+        violations = gate_suite(
+            suite(wall_seconds=99.9, simulated_seconds=1.1),
+            self.committed(),
+        )
+        assert violations == []
+
+
+class TestHotspotSurface:
+    def profiled(self):
+        profiler = cProfile.Profile()
+        profiler.enable()
+        sorted(range(1000), key=lambda value: -value)
+        profiler.disable()
+        return profiler
+
+    def test_collect_hotspots_rows_are_json_ready(self):
+        rows = collect_hotspots(self.profiled(), top=5)
+        assert 0 < len(rows) <= 5
+        for row in rows:
+            assert set(row) == {
+                "function",
+                "ncalls",
+                "primitive_calls",
+                "tottime",
+                "cumtime",
+            }
+        json.dumps(rows)  # must not raise
+
+    def test_render_hotspot_table_is_aligned_text(self):
+        rows = collect_hotspots(self.profiled(), top=5)
+        table = render_hotspot_table(rows)
+        lines = table.splitlines()
+        assert "ncalls" in lines[0] and "function" in lines[0]
+        assert len(lines) == len(rows) + 2
+
+    def test_cli_bench_profile_writes_artifacts(self, tmp_path):
+        out_path = str(tmp_path / "bench.json")
+        out = io.StringIO()
+        code = main(
+            ["--scale", "0.002", "--seed", "11", "bench", "--out", out_path,
+             "--labels", "serial", "--profile"],
+            out=out,
+        )
+        assert code == 0
+        text = out.getvalue()
+        assert "hotspot profile" in text
+        with open(out_path + ".profile.json", encoding="utf-8") as fh:
+            payload = json.load(fh)
+        assert payload["phases_profiled"] == ["probe", "merge", "analysis"]
+        assert payload["hotspots"], "profile must carry hotspot rows"
+        with open(out_path + ".profile.txt", encoding="utf-8") as fh:
+            assert "function" in fh.read()

@@ -362,7 +362,9 @@ class TestCliShardedCampaign:
         )
         assert code == 0
         payload = json.loads(open(out_path).read())
-        assert set(payload["records"]) == {"serial", "concurrent"}
+        assert payload["format"] == 2
+        report = payload["scales"]["0.002"]
+        assert set(report["records"]) == {"serial", "concurrent"}
         code, text = self.run_cli(
             ["--scale", "0.002", "--seed", "11", "bench",
              "--out", str(tmp_path / "bench2.json"),
