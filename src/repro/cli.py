@@ -120,13 +120,14 @@ def build_parser() -> argparse.ArgumentParser:
         "campaign",
         help="run the probe campaign with chaos/journal/resume controls",
     )
-    from .net.chaos import PROFILES as _CHAOS_PROFILES
-
     campaign.add_argument(
         "--chaos",
-        choices=_CHAOS_PROFILES,
         default=None,
-        help="inject a canonical deterministic fault profile",
+        metavar="NAME|list",
+        help=(
+            "inject a canonical deterministic fault profile "
+            "('list' prints the available profiles)"
+        ),
     )
     campaign.add_argument(
         "--journal",
@@ -165,6 +166,58 @@ def build_parser() -> argparse.ArgumentParser:
             "run the campaign across N worker processes (auto = CPU "
             "count); the merged dataset digest is identical for any N"
         ),
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help=(
+            "run a client workload through the caching recursive "
+            "serving layer (serve-stale, prefetch, degradation states)"
+        ),
+    )
+    serve.add_argument(
+        "--chaos",
+        default=None,
+        metavar="NAME|list",
+        help=(
+            "chaos profile to serve under "
+            "('list' prints the available profiles)"
+        ),
+    )
+    serve.add_argument(
+        "--duration",
+        type=float,
+        default=600.0,
+        metavar="SECONDS",
+        help="simulated workload duration (default: 600)",
+    )
+    serve.add_argument(
+        "--qps",
+        type=float,
+        default=20.0,
+        metavar="RATE",
+        help="mean client query rate across all countries (default: 20)",
+    )
+    serve.add_argument(
+        "--no-serve-stale",
+        action="store_true",
+        help="disable RFC 8767 serve-stale (expired entries are misses)",
+    )
+    serve.add_argument(
+        "--no-prefetch",
+        action="store_true",
+        help="disable prefetch of hot names approaching TTL expiry",
+    )
+    serve.add_argument(
+        "--no-warm",
+        action="store_true",
+        help="skip the pre-chaos cache warm phase",
+    )
+    serve.add_argument(
+        "--report-out",
+        default=None,
+        metavar="PATH",
+        help="write the ServingReport as JSON to PATH",
     )
 
     bench = sub.add_parser(
@@ -435,6 +488,112 @@ def _cmd_oracle(args: argparse.Namespace, out) -> int:
     return 1 if any(r.unexplained for r in reports) else 0
 
 
+def _check_chaos_arg(chaos: Optional[str], out) -> Optional[int]:
+    """Handle ``--chaos list`` / unknown names; None means proceed."""
+    from .net.chaos import PROFILES, describe_profiles
+
+    if chaos is None or chaos in PROFILES:
+        return None
+    if chaos == "list":
+        print("available chaos profiles:", file=out)
+        print(describe_profiles(), file=out)
+        return 0
+    print(
+        f"unknown chaos profile {chaos!r}; choose from "
+        f"{', '.join(PROFILES)} (or 'list' to describe them)",
+        file=out,
+    )
+    return 2
+
+
+def _cmd_serve(args: argparse.Namespace, out) -> int:
+    from .dns.message import Rcode, make_response
+    from .net.chaos import build_profile
+    from .report.serving import ServingReport
+    from .serve.service import RecursiveService, ServeConfig
+    from .serve.workload import (
+        ClientWorkload,
+        WorkloadConfig,
+        targets_from_world,
+        workload_digest,
+    )
+
+    chaos_status = _check_chaos_arg(args.chaos, out)
+    if chaos_status is not None:
+        return chaos_status
+
+    world = WorldGenerator(
+        WorldConfig(seed=args.seed, scale=args.scale)
+    ).generate()
+    config = ServeConfig(
+        serve_stale=not args.no_serve_stale,
+        prefetch=not args.no_prefetch,
+    )
+    service = RecursiveService(
+        world.network,
+        world.root_addresses,
+        source=world.probe_source,
+        config=config,
+        seed=args.seed,
+    )
+    try:
+        workload = ClientWorkload(
+            targets_from_world(world),
+            config=WorkloadConfig(duration=args.duration, mean_qps=args.qps),
+            seed=args.seed,
+        )
+    except ValueError as error:
+        print(f"error: {error}", file=out)
+        return 2
+    queries = workload.generate()
+    digest = workload_digest(queries)
+
+    warmed = 0
+    if not args.no_warm:
+        warmed = service.warm(queries)
+        # Age the warm cache past its TTLs so the run exercises expiry,
+        # prefetch, and (under chaos) the serve-stale path rather than
+        # riding a permanently-fresh cache.
+        world.clock.advance(config.max_ttl + 1.0)
+
+    if args.chaos is not None:
+        world.network.chaos = build_profile(
+            args.chaos,
+            sorted(world.network.addresses()),
+            seed=args.seed,
+            start=world.clock.now,
+            refusal_factory=lambda query: make_response(
+                query, rcode=Rcode.REFUSED
+            ),
+        )
+
+    answers = service.run(queries)
+    report = ServingReport.collect(
+        answers,
+        service,
+        seed=args.seed,
+        profile=args.chaos,
+        duration=args.duration,
+        workload_digest=digest,
+        chaos_stats=(
+            world.network.chaos.stats.as_dict()
+            if world.network.chaos is not None
+            else None
+        ),
+    )
+    print(
+        f"queries served: {len(answers)} "
+        f"(warmed {warmed} names, workload digest {digest[:12]}…)",
+        file=out,
+    )
+    print(report.render(), file=out)
+    print(f"serving-digest: {report.digest()}", file=out)
+    if args.report_out is not None:
+        report.write(args.report_out)
+        print(f"serving report written to {args.report_out}", file=out)
+    return 0
+
+
 def _cmd_campaign(args: argparse.Namespace, out) -> int:
     from .core.journal import CampaignJournal, dataset_digest
     from .core.probe import ActiveProber
@@ -442,6 +601,10 @@ def _cmd_campaign(args: argparse.Namespace, out) -> int:
     from .net.chaos import build_profile
     from .net.events import CampaignAborted
     from .report.resilience import ResilienceReport
+
+    chaos_status = _check_chaos_arg(args.chaos, out)
+    if chaos_status is not None:
+        return chaos_status
 
     if args.journal and args.resume:
         print(
@@ -677,6 +840,7 @@ _COMMANDS = {
     "zonelint": _cmd_zonelint,
     "oracle": _cmd_oracle,
     "campaign": _cmd_campaign,
+    "serve": _cmd_serve,
     "bench": _cmd_bench,
 }
 

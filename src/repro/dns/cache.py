@@ -1,4 +1,4 @@
-"""A TTL-honouring resolver cache.
+"""TTL-honouring resolver caches.
 
 Caching matters to the reproduction beyond performance: the paper's
 PDNS-filtering threshold (§III-C) is derived from the *maximum* TTL that
@@ -6,10 +6,22 @@ popular resolvers will honour — 7 days — because a corrected
 misconfiguration can keep echoing in caches for that long.  The cache
 therefore supports a TTL clamp so that experiments can reproduce this
 reasoning.
+
+Two caches share that clamp (via :class:`TtlExpiry`, so the semantics
+cannot drift):
+
+- :class:`ResolverCache` — positive answers plus RFC 2308 negative
+  entries (NXDOMAIN vs NODATA, TTL keyed on the SOA minimum when the
+  caller saw one), with an optional RFC 8767 *stale window* during
+  which expired entries stay retrievable via :meth:`ResolverCache.lookup`
+  for serve-stale resolvers.
+- :class:`ZoneCutCache` — the delegation cache that lets walks start at
+  the deepest known cut instead of the root.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Dict, Mapping, Optional, Tuple
 
 from ..inet.address import IPv4Address
@@ -17,61 +29,226 @@ from ..inet.clock import SimulatedClock
 from .name import DnsName
 from .rrset import RRset
 
-__all__ = ["ResolverCache", "ZoneCut", "ZoneCutCache", "MAX_RESOLVER_TTL"]
+__all__ = [
+    "CacheAnswer",
+    "ResolverCache",
+    "TtlExpiry",
+    "ZoneCut",
+    "ZoneCutCache",
+    "MAX_RESOLVER_TTL",
+    "NEGATIVE_KINDS",
+]
 
 # The largest default maximum TTL among the resolvers the paper surveys
 # (BIND, Unbound, MaraDNS, Windows DNS, Google Public DNS): 7 days.
 MAX_RESOLVER_TTL = 7 * 86_400
 
+# RFC 2308 distinguishes two negative answer shapes; both are cacheable.
+NEGATIVE_KINDS = ("nxdomain", "nodata")
+
+
+class TtlExpiry:
+    """Shared TTL-clamp and frozen-mode expiry policy.
+
+    Both resolver-facing caches must agree on two behaviours the
+    reproduction's determinism leans on:
+
+    - the 7-day clamp (§III-C): no entry outlives ``max_ttl``;
+    - frozen mode: after :meth:`freeze`, reads stop consulting the live
+      clock, so a cache's surviving entry set is immutable however far
+      the simulated clock advances mid-campaign.
+
+    Keeping both in one helper means the clamp and the frozen semantics
+    cannot drift between :class:`ResolverCache` and :class:`ZoneCutCache`.
+    """
+
+    __slots__ = ("_clock", "max_ttl", "_frozen")
+
+    def __init__(self, clock: SimulatedClock, max_ttl: int) -> None:
+        if max_ttl <= 0:
+            raise ValueError("TTLs must be positive")
+        self._clock = clock
+        self.max_ttl = max_ttl
+        self._frozen = False
+
+    @property
+    def now(self) -> float:
+        return self._clock.now
+
+    @property
+    def frozen(self) -> bool:
+        return self._frozen
+
+    def freeze(self) -> None:
+        """Pin expiry: after this, :meth:`expired` is always False."""
+        self._frozen = True
+
+    def clamp(self, ttl: int) -> int:
+        return ttl if ttl < self.max_ttl else self.max_ttl
+
+    def expires_at(self, ttl: int) -> float:
+        return self._clock.now + self.clamp(ttl)
+
+    def expired(self, expires_at: float, grace: float = 0.0) -> bool:
+        """Live expiry check (always False once frozen)."""
+        if self._frozen:
+            return False
+        return expires_at + grace <= self._clock.now
+
+    def lapsed(self, expires_at: float, grace: float = 0.0) -> bool:
+        """Raw horizon check against the clock, ignoring frozen mode.
+
+        This is what the one-time prune at freeze time uses: entries
+        already past their horizon are dropped before the survivors are
+        pinned.
+        """
+        return expires_at + grace <= self._clock.now
+
 
 class _Entry:
     """One cache slot (hot path: ``__slots__``, no dataclass machinery)."""
 
-    __slots__ = ("rrset", "expires_at")
+    __slots__ = ("rrset", "expires_at", "kind")
 
-    def __init__(self, rrset: Optional[RRset], expires_at: float) -> None:
-        # None encodes a negative (NXDOMAIN/NODATA) entry.
+    def __init__(
+        self,
+        rrset: Optional[RRset],
+        expires_at: float,
+        kind: Optional[str] = None,
+    ) -> None:
+        # rrset None encodes a negative (NXDOMAIN/NODATA) entry; ``kind``
+        # then records which of the two it is.
         self.rrset = rrset
         self.expires_at = expires_at
+        self.kind = kind
+
+
+@dataclass(frozen=True)
+class CacheAnswer:
+    """Outcome of a :meth:`ResolverCache.lookup`.
+
+    ``state`` is one of:
+
+    - ``"fresh"`` — live positive entry (``rrset`` is set);
+    - ``"negative"`` — live negative entry (``kind`` says which);
+    - ``"stale"`` — expired positive entry still inside the stale window;
+    - ``"stale_negative"`` — expired negative entry inside the window;
+    - ``"miss"`` — nothing usable.
+    """
+
+    state: str
+    rrset: Optional[RRset] = None
+    kind: Optional[str] = None
+    expires_at: float = 0.0
+
+    @property
+    def is_stale(self) -> bool:
+        return self.state in ("stale", "stale_negative")
+
+
+_MISS = CacheAnswer("miss")
 
 
 class ResolverCache:
-    """Positive and negative cache keyed by (name, type)."""
+    """Positive and negative cache keyed by (name, type).
+
+    Negative entries follow RFC 2308: NXDOMAIN and NODATA are cached
+    separately-kinded, and when the caller observed the authority SOA the
+    negative TTL is keyed on its *minimum* field (capped by the
+    configured ``negative_ttl``).
+
+    ``stale_window`` adds RFC 8767 retention: for that many seconds past
+    expiry, :meth:`lookup` still surfaces the entry (as ``"stale"`` /
+    ``"stale_negative"``) so a serve-stale resolver can answer from it
+    while refreshing in the background.  The default of ``0.0``
+    reproduces the historical behaviour byte-for-byte: expired entries
+    are dropped on read.
+    """
 
     def __init__(
         self,
         clock: SimulatedClock,
         max_ttl: int = MAX_RESOLVER_TTL,
         negative_ttl: int = 900,
+        stale_window: float = 0.0,
     ) -> None:
-        if max_ttl <= 0 or negative_ttl <= 0:
+        if negative_ttl <= 0:
             raise ValueError("TTLs must be positive")
-        self._clock = clock
-        self._max_ttl = max_ttl
+        if stale_window < 0:
+            raise ValueError("stale window must be >= 0")
+        self._expiry = TtlExpiry(clock, max_ttl)
         self._negative_ttl = negative_ttl
+        self._stale_window = float(stale_window)
         self._entries: Dict[Tuple[DnsName, str], _Entry] = {}
         self.hits = 0
         self.misses = 0
+        self.stale_hits = 0
 
     def __len__(self) -> int:
         return len(self._entries)
 
+    @property
+    def stale_window(self) -> float:
+        return self._stale_window
+
+    @property
+    def frozen(self) -> bool:
+        return self._expiry.frozen
+
+    def freeze(self) -> int:
+        """Prune entries past their retention horizon, then pin read-only.
+
+        Returns the number of entries pruned.  Mirrors
+        :meth:`ZoneCutCache.freeze` (same :class:`TtlExpiry` semantics).
+        """
+        stale = sorted(
+            key
+            for key, entry in self._entries.items()
+            if self._expiry.lapsed(entry.expires_at, self._stale_window)
+        )
+        for key in stale:
+            del self._entries[key]
+        self._expiry.freeze()
+        return len(stale)
+
     def put(self, rrset: RRset) -> None:
-        ttl = min(rrset.ttl, self._max_ttl)
+        if self._expiry.frozen:
+            return
         self._entries[(rrset.name, rrset.rrtype)] = _Entry(
-            rrset=rrset, expires_at=self._clock.now + ttl
+            rrset=rrset, expires_at=self._expiry.expires_at(rrset.ttl)
         )
 
-    def put_negative(self, name: DnsName, rrtype: str) -> None:
+    def put_negative(
+        self,
+        name: DnsName,
+        rrtype: str,
+        kind: str = "nxdomain",
+        soa_minimum: Optional[int] = None,
+    ) -> None:
+        """Cache a negative answer.
+
+        ``soa_minimum`` — when the upstream negative response carried an
+        authority SOA, its minimum field keys the negative TTL per
+        RFC 2308 (still capped by the configured ``negative_ttl``).
+        """
+        if kind not in NEGATIVE_KINDS:
+            raise ValueError(f"unknown negative kind: {kind!r}")
+        if self._expiry.frozen:
+            return
+        ttl = self._negative_ttl
+        if soa_minimum is not None:
+            ttl = min(int(soa_minimum), ttl)
         self._entries[(name, rrtype)] = _Entry(
-            rrset=None, expires_at=self._clock.now + self._negative_ttl
+            rrset=None,
+            expires_at=self._expiry.now + self._expiry.clamp(ttl),
+            kind=kind,
         )
 
     def get(self, name: DnsName, rrtype: str) -> Optional[RRset]:
         """Return a live cached RRset, or None on miss/expiry/negative.
 
         Use :meth:`get_state` when the caller must distinguish a negative
-        entry from a miss.
+        entry from a miss, and :meth:`lookup` when stale entries matter.
         """
         state, rrset = self.get_state(name, rrtype)
         return rrset if state == "hit" else None
@@ -80,25 +257,64 @@ class ResolverCache:
         self, name: DnsName, rrtype: str
     ) -> Tuple[str, Optional[RRset]]:
         """Return ``("hit", rrset)``, ``("negative", None)``, or
-        ``("miss", None)``."""
-        entry = self._entries.get((name, rrtype))
-        if entry is None or entry.expires_at <= self._clock.now:
-            if entry is not None:
-                del self._entries[(name, rrtype)]
-            self.misses += 1
-            return "miss", None
-        self.hits += 1
-        if entry.rrset is None:
+        ``("miss", None)``.  Stale entries (only possible with a nonzero
+        ``stale_window``) read as misses here."""
+        found = self.lookup(name, rrtype)
+        if found.state == "fresh":
+            return "hit", found.rrset
+        if found.state == "negative":
             return "negative", None
-        return "hit", entry.rrset
+        return "miss", None
+
+    def lookup(self, name: DnsName, rrtype: str) -> CacheAnswer:
+        """Full-fidelity lookup: fresh, negative, stale, or miss.
+
+        Entries past expiry but inside the stale window are *kept* (and
+        counted in ``stale_hits``); entries past the retention horizon
+        are dropped on read, exactly as the pre-stale cache dropped
+        expired entries.
+        """
+        key = (name, rrtype)
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return _MISS
+        if not self._expiry.expired(entry.expires_at):
+            self.hits += 1
+            if entry.rrset is None:
+                return CacheAnswer(
+                    "negative", None, entry.kind, entry.expires_at
+                )
+            return CacheAnswer("fresh", entry.rrset, None, entry.expires_at)
+        if not self._expiry.expired(entry.expires_at, self._stale_window):
+            self.stale_hits += 1
+            if entry.rrset is None:
+                return CacheAnswer(
+                    "stale_negative", None, entry.kind, entry.expires_at
+                )
+            return CacheAnswer("stale", entry.rrset, None, entry.expires_at)
+        del self._entries[key]
+        self.misses += 1
+        return _MISS
 
     def flush(self) -> None:
+        if self._expiry.frozen:
+            return
         self._entries.clear()
 
     def expire_stale(self) -> int:
-        """Drop expired entries; returns how many were removed."""
-        now = self._clock.now
-        stale = [key for key, entry in self._entries.items() if entry.expires_at <= now]
+        """Drop entries past their retention horizon; returns the count.
+
+        With a zero ``stale_window`` the horizon is plain TTL expiry;
+        otherwise entries linger for the window first.  No-op frozen.
+        """
+        if self._expiry.frozen:
+            return 0
+        stale = sorted(
+            key
+            for key, entry in self._entries.items()
+            if self._expiry.lapsed(entry.expires_at, self._stale_window)
+        )
         for key in stale:
             del self._entries[key]
         return len(stale)
@@ -172,31 +388,28 @@ class ZoneCutCache:
         clock: SimulatedClock,
         max_ttl: int = MAX_RESOLVER_TTL,
     ) -> None:
-        if max_ttl <= 0:
-            raise ValueError("TTLs must be positive")
-        self._clock = clock
-        self._max_ttl = max_ttl
+        self._expiry = TtlExpiry(clock, max_ttl)
         self._cuts: Dict[DnsName, ZoneCut] = {}
-        self._frozen = False
         self.hits = 0
         self.misses = 0
 
     @property
     def frozen(self) -> bool:
-        return self._frozen
+        return self._expiry.frozen
 
     def freeze(self) -> int:
         """Prune entries already expired, then pin the cache read-only.
 
         Returns the number of entries pruned.  Idempotent.
         """
-        now = self._clock.now
         stale = sorted(
-            name for name, cut in self._cuts.items() if cut.expires_at <= now
+            name
+            for name, cut in self._cuts.items()
+            if self._expiry.lapsed(cut.expires_at)
         )
         for name in stale:
             del self._cuts[name]
-        self._frozen = True
+        self._expiry.freeze()
         return len(stale)
 
     def __len__(self) -> int:
@@ -210,14 +423,13 @@ class ZoneCutCache:
         ttl: int,
     ) -> None:
         """Record a delegation observed in a referral (no-op once frozen)."""
-        if self._frozen:
+        if self._expiry.frozen:
             return
-        clamped = min(ttl, self._max_ttl)
         self._cuts[name] = ZoneCut(
             name=name,
             hostnames=hostnames,
             glue=glue,
-            expires_at=self._clock.now + clamped,
+            expires_at=self._expiry.expires_at(ttl),
         )
 
     def get(self, name: DnsName) -> Optional[ZoneCut]:
@@ -230,7 +442,7 @@ class ZoneCutCache:
         cut = self._cuts.get(name)
         if cut is None:
             return None
-        if not self._frozen and cut.expires_at <= self._clock.now:
+        if self._expiry.expired(cut.expires_at):
             del self._cuts[name]
             return None
         return cut
@@ -263,11 +475,11 @@ class ZoneCutCache:
         fallback, keeping per-domain cost composition-independent
         instead of letting the first victim change later walks.
         """
-        if self._frozen:
+        if self._expiry.frozen:
             return
         self._cuts.pop(name, None)
 
     def flush(self) -> None:
-        if self._frozen:
+        if self._expiry.frozen:
             return
         self._cuts.clear()

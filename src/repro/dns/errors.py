@@ -41,7 +41,16 @@ class NoNameservers(ResolutionError):
     """Every candidate nameserver failed (timeout, refusal, or lameness).
 
     This is the resolver-visible face of a *fully defective delegation*.
+    ``reason`` preserves the dominant per-server failure outcome
+    (``"servfail"``, ``"refused"``, ``"upward"``, ``"lame"``,
+    ``"timeout"``) so callers — the serve-stale layer in particular —
+    can distinguish a SERVFAIL-ing upstream from a silent one instead
+    of collapsing every exhaustion into one bucket.
     """
+
+    def __init__(self, message: str, reason: str = "no_servers") -> None:
+        super().__init__(message)
+        self.reason = reason
 
 
 class ResolutionLoop(ResolutionError):

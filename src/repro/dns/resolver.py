@@ -34,6 +34,18 @@ _MAX_REFERRALS = 24
 _MAX_CNAME_HOPS = 8
 _MAX_GLUELESS_DEPTH = 4
 
+# When every candidate server fails, the exhaustion is summarized by the
+# most *diagnostic* per-server outcome seen: an explicit SERVFAIL beats
+# a refusal beats structural lameness beats plain silence.
+_FAILURE_PRIORITY = ("servfail", "refused", "upward", "lame", "timeout")
+
+
+def _dominant_failure(outcomes: Sequence[str]) -> str:
+    for reason in _FAILURE_PRIORITY:
+        if reason in outcomes:
+            return reason
+    return "no_servers"
+
 
 @dataclass(frozen=True)
 class TraceStep:
@@ -49,13 +61,23 @@ class TraceStep:
 
 @dataclass(frozen=True)
 class Resolution:
-    """Final state of an iterative resolution."""
+    """Final state of an iterative resolution.
+
+    ``failure_reason`` (only on ``"servfail"``) preserves the dominant
+    upstream failure — ``"servfail"``, ``"refused"``, ``"upward"``,
+    ``"lame"``, ``"timeout"``, or ``"loop"`` — so callers can tell a
+    SERVFAIL-ing delegation from a silent one.  ``soa`` (only on
+    negative statuses) is the authority SOA from the negative response,
+    whose minimum field keys the RFC 2308 negative TTL.
+    """
 
     status: str  # "ok" | "nxdomain" | "nodata" | "servfail"
     qname: DnsName
     qtype: str
     answers: Tuple[RRset, ...] = ()
     trace: Tuple[TraceStep, ...] = ()
+    failure_reason: Optional[str] = None
+    soa: Optional[RRset] = None
 
     @property
     def ok(self) -> bool:
@@ -116,6 +138,9 @@ class Resolver:
         self._backoff_rng = (
             backoff_rng if backoff_rng is not None else random.Random(0)  # reprolint: disable=FLW102
         )
+        # Authority SOA from the most recent negative response in the
+        # current resolution (keys the RFC 2308 negative TTL upstream).
+        self._negative_soa: Optional[RRset] = None
 
     @property
     def roots(self) -> Tuple[IPv4Address, ...]:
@@ -162,11 +187,24 @@ class Resolver:
     def resolve(self, qname: DnsName, qtype: str) -> Resolution:
         """Resolve from the roots, following referrals and aliases."""
         trace: List[TraceStep] = []
+        self._negative_soa = None
         try:
             answers, status = self._resolve_inner(qname, qtype, trace, depth=0)
-        except (NoNameservers, ResolutionLoop):
+        except NoNameservers as exc:
             return Resolution(
-                status="servfail", qname=qname, qtype=qtype, trace=tuple(trace)
+                status="servfail",
+                qname=qname,
+                qtype=qtype,
+                trace=tuple(trace),
+                failure_reason=exc.reason,
+            )
+        except ResolutionLoop:
+            return Resolution(
+                status="servfail",
+                qname=qname,
+                qtype=qtype,
+                trace=tuple(trace),
+                failure_reason="loop",
             )
         return Resolution(
             status=status,
@@ -174,6 +212,11 @@ class Resolver:
             qtype=qtype,
             answers=tuple(answers),
             trace=tuple(trace),
+            soa=(
+                self._negative_soa
+                if status in ("nxdomain", "nodata")
+                else None
+            ),
         )
 
     def resolve_address(self, hostname: DnsName) -> Tuple[IPv4Address, ...]:
@@ -198,11 +241,11 @@ class Resolver:
             raise ResolutionLoop(f"CNAME chain too long at {qname}")
 
         if self._cache is not None:
-            state, cached = self._cache.get_state(qname, qtype)
-            if state == "hit" and cached is not None:
-                return [cached], "ok"
-            if state == "negative":
-                return [], "nxdomain"
+            found = self._cache.lookup(qname, qtype)
+            if found.state == "fresh" and found.rrset is not None:
+                return [found.rrset], "ok"
+            if found.state == "negative":
+                return [], "nodata" if found.kind == "nodata" else "nxdomain"
 
         if self._zone_cuts is not None:
             cut = self._zone_cuts.deepest_enclosing(qname)
@@ -249,6 +292,7 @@ class Resolver:
             if response.rcode == Rcode.NXDOMAIN:
                 # The serving exchange is already in the trace; just
                 # settle the outcome.
+                self._negative_soa = response.authority_rrset(RRType.SOA)
                 if self._cache is not None:
                     self._cache.put_negative(qname, qtype)
                 return answers, "nxdomain"
@@ -276,9 +320,11 @@ class Resolver:
                     )
                     answers.extend(chased)
                     return answers, status
+                self._negative_soa = response.authority_rrset(RRType.SOA)
                 return answers, "nodata"
 
             if response.aa:
+                self._negative_soa = response.authority_rrset(RRType.SOA)
                 return answers, "nodata"
 
             if response.is_referral and not response.is_upward_referral:
@@ -347,6 +393,7 @@ class Resolver:
         """
         pending_ns = list(unresolved_ns)
         queue = list(candidates)
+        failures: List[str] = []
         while queue or pending_ns:
             if not queue:
                 hostname = pending_ns.pop(0)
@@ -355,9 +402,13 @@ class Resolver:
             server = queue.pop(0)
             try:
                 return self._exchange(server, qname, qtype, trace)
-            except ServerFailure:
+            except ServerFailure as failure:
+                failures.append(failure.outcome)
                 continue
-        raise NoNameservers(f"all nameservers failed for {qname} {qtype}")
+        raise NoNameservers(
+            f"all nameservers failed for {qname} {qtype}",
+            reason=_dominant_failure(failures),
+        )
 
     def _resolve_ns_host(
         self, hostname: DnsName, trace: List[TraceStep], depth: int

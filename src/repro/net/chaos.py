@@ -61,8 +61,10 @@ __all__ = [
     "LossBurst",
     "OutageWindow",
     "PROFILES",
+    "PROFILE_DESCRIPTIONS",
     "RateLimitRule",
     "build_profile",
+    "describe_profiles",
 ]
 
 ChaosTarget = Union[IPv4Address, IPv4Prefix]
@@ -379,6 +381,22 @@ class FaultSchedule:
 # Canonical profiles (CLI --chaos <name>, CI chaos-smoke)
 # ----------------------------------------------------------------------
 PROFILES: Tuple[str, ...] = ("outage", "flaky", "brownout", "ratelimit", "mixed")
+
+# One-line summaries for `--chaos list` (keep in sync with build_profile).
+PROFILE_DESCRIPTIONS: Dict[str, str] = {
+    "outage": "10% of addresses unreachable (silent) for the first 2h",
+    "flaky": "20% of addresses drop 60% of datagrams for the first 3h",
+    "brownout": "25% of addresses gain +2.6s round-trip latency for 2h",
+    "ratelimit": "global sliding-window cap: >8 queries/10s answered REFUSED",
+    "mixed": "all four at reduced shares (5% outage, 15% flaky, 15% brownout)",
+}
+
+
+def describe_profiles() -> str:
+    """Render the named profiles as `name - description` lines."""
+    return "\n".join(
+        f"  {name:<10} {PROFILE_DESCRIPTIONS[name]}" for name in PROFILES
+    )
 
 
 def _pick(

@@ -1,0 +1,187 @@
+"""The serving report: what the recursive serving layer delivered.
+
+Summarizes one ``repro serve`` run the way the DoC artifacts report
+load: throughput (QPS), cache effectiveness, how much of the traffic
+survived on stale data, the answer-latency CDF, and the per-degradation
+state counts.  The payload is canonical JSON; its sha256
+(:meth:`ServingReport.digest`) is the byte-identical regression surface
+the CI ``serve-smoke`` job compares across two runs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, TYPE_CHECKING
+
+from .export import to_json, write_json
+from .tables import render_table
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only import
+    from ..serve.service import RecursiveService, ServeAnswer
+
+__all__ = ["ServingReport"]
+
+_PERCENTILES = (("p50", 0.50), ("p90", 0.90), ("p99", 0.99))
+
+
+def _latency_cdf(latencies: Sequence[float]) -> Dict[str, float]:
+    if not latencies:
+        return {name: 0.0 for name, _ in _PERCENTILES} | {"max": 0.0}
+    ordered = sorted(latencies)
+    cdf: Dict[str, float] = {}
+    for name, quantile in _PERCENTILES:
+        index = min(len(ordered) - 1, int(quantile * len(ordered)))
+        cdf[name] = round(ordered[index], 6)
+    cdf["max"] = round(ordered[-1], 6)
+    return cdf
+
+
+@dataclass
+class ServingReport:
+    """Aggregated serving metrics for one workload run."""
+
+    seed: int = 0
+    profile: Optional[str] = None
+    duration: float = 0.0
+    serve_stale: bool = True
+    total_queries: int = 0
+    answered: int = 0
+    answered_fraction: float = 0.0
+    qps: float = 0.0
+    cache_hit_ratio: float = 0.0
+    stale_served_fraction: float = 0.0
+    state_counts: Dict[str, int] = field(default_factory=dict)
+    status_counts: Dict[str, int] = field(default_factory=dict)
+    source_counts: Dict[str, int] = field(default_factory=dict)
+    failure_reasons: Dict[str, int] = field(default_factory=dict)
+    latency: Dict[str, float] = field(default_factory=dict)
+    workload_digest: str = ""
+    service: Dict[str, int] = field(default_factory=dict)
+    chaos: Dict[str, int] = field(default_factory=dict)
+
+    @classmethod
+    def collect(
+        cls,
+        answers: Sequence["ServeAnswer"],
+        service: "RecursiveService",
+        seed: int,
+        profile: Optional[str],
+        duration: float,
+        workload_digest: str,
+        chaos_stats: Optional[Dict[str, int]] = None,
+    ) -> "ServingReport":
+        from ..serve.service import DegradationState
+
+        report = cls(
+            seed=seed,
+            profile=profile,
+            duration=duration,
+            serve_stale=service.config.serve_stale,
+            workload_digest=workload_digest,
+        )
+        report.total_queries = len(answers)
+        state_counts = {state: 0 for state in DegradationState.ALL}
+        status_counts: Dict[str, int] = {}
+        source_counts: Dict[str, int] = {}
+        reasons: Dict[str, int] = {}
+        latencies: List[float] = []
+        cached = 0
+        for answer in answers:
+            state_counts[answer.state] += 1
+            status_counts[answer.status] = (
+                status_counts.get(answer.status, 0) + 1
+            )
+            source_counts[answer.source] = (
+                source_counts.get(answer.source, 0) + 1
+            )
+            if answer.failure_reason is not None:
+                reasons[answer.failure_reason] = (
+                    reasons.get(answer.failure_reason, 0) + 1
+                )
+            if answer.source in ("cache", "cache_negative"):
+                cached += 1
+            if answer.answered:
+                report.answered += 1
+            latencies.append(answer.latency)
+        report.state_counts = state_counts
+        report.status_counts = status_counts
+        report.source_counts = source_counts
+        report.failure_reasons = reasons
+        report.latency = _latency_cdf(latencies)
+        total = report.total_queries
+        if total:
+            report.answered_fraction = round(report.answered / total, 6)
+            report.cache_hit_ratio = round(cached / total, 6)
+            report.stale_served_fraction = round(
+                state_counts[DegradationState.STALE_SERVED] / total, 6
+            )
+        if duration > 0:
+            report.qps = round(total / duration, 6)
+        report.service = service.stats()
+        if chaos_stats is not None:
+            report.chaos = dict(chaos_stats)
+        return report
+
+    # ------------------------------------------------------------------
+    def payload(self) -> Dict[str, Any]:
+        return {
+            "seed": self.seed,
+            "profile": self.profile,
+            "duration": self.duration,
+            "serve_stale": self.serve_stale,
+            "total_queries": self.total_queries,
+            "answered": self.answered,
+            "answered_fraction": self.answered_fraction,
+            "qps": self.qps,
+            "cache_hit_ratio": self.cache_hit_ratio,
+            "stale_served_fraction": self.stale_served_fraction,
+            "state_counts": self.state_counts,
+            "status_counts": self.status_counts,
+            "source_counts": self.source_counts,
+            "failure_reasons": self.failure_reasons,
+            "latency": self.latency,
+            "workload_digest": self.workload_digest,
+            "service": self.service,
+            "chaos": self.chaos,
+        }
+
+    def digest(self) -> str:
+        """sha256 over the canonical JSON payload (regression surface)."""
+        return hashlib.sha256(self.to_json().encode("utf-8")).hexdigest()
+
+    def render(self) -> str:
+        rows = [
+            ["chaos profile", self.profile or "none"],
+            ["serve-stale", "on" if self.serve_stale else "off"],
+            ["queries", str(self.total_queries)],
+            ["qps (simulated)", f"{self.qps:.2f}"],
+            [
+                "answered",
+                f"{self.answered} ({self.answered_fraction:.1%})",
+            ],
+            ["cache hit ratio", f"{self.cache_hit_ratio:.1%}"],
+            ["stale-served fraction", f"{self.stale_served_fraction:.1%}"],
+        ]
+        for state in sorted(self.state_counts):
+            rows.append([f"state {state}", str(self.state_counts[state])])
+        for status in sorted(self.status_counts):
+            rows.append([f"status {status}", str(self.status_counts[status])])
+        for reason in sorted(self.failure_reasons):
+            rows.append(
+                [f"upstream failure {reason}", str(self.failure_reasons[reason])]
+            )
+        for name in ("p50", "p90", "p99", "max"):
+            if name in self.latency:
+                rows.append([f"latency {name}", f"{self.latency[name]:.3f}s"])
+        for key in sorted(self.service):
+            rows.append([f"service {key}", str(self.service[key])])
+        for key in sorted(self.chaos):
+            rows.append([f"chaos {key}", str(self.chaos[key])])
+        return render_table(["metric", "value"], rows)
+
+    def to_json(self) -> str:
+        return to_json(self.payload())
+
+    def write(self, path: str) -> None:
+        write_json(path, self.payload())

@@ -1,0 +1,47 @@
+"""The resilient recursive serving layer.
+
+Turns the reproduction from a system that *probes* the government DNS
+ecosystem into one that *serves* it: a caching recursive resolver
+(positive + RFC 2308 negative caching, RFC 8767 serve-stale, prefetch,
+health-aware upstream selection) fed by a seeded client-population
+workload, designed to degrade gracefully under the chaos layer.
+
+Modules
+-------
+``workload``
+    Seeded per-country client traffic: Zipf popularity, diurnal curve,
+    burst storms.  Byte-identical for a given (targets, config, seed)
+    regardless of input ordering or hash seed.
+``upstream``
+    Per-nameserver health book (SRTT + circuit breaker) and the
+    :class:`~repro.serve.upstream.HealthAwareResolver` that orders
+    candidate servers by it.
+``service``
+    :class:`~repro.serve.service.RecursiveService`: the serving loop
+    with explicit per-answer degradation states
+    (FRESH → STALE-SERVED → FAILED) and bounded background refresh.
+"""
+
+from .service import DegradationState, RecursiveService, ServeAnswer, ServeConfig
+from .upstream import HealthAwareResolver, UpstreamHealth
+from .workload import (
+    ClientQuery,
+    ClientWorkload,
+    WorkloadConfig,
+    targets_from_world,
+    workload_digest,
+)
+
+__all__ = [
+    "ClientQuery",
+    "ClientWorkload",
+    "DegradationState",
+    "HealthAwareResolver",
+    "RecursiveService",
+    "ServeAnswer",
+    "ServeConfig",
+    "UpstreamHealth",
+    "WorkloadConfig",
+    "targets_from_world",
+    "workload_digest",
+]

@@ -188,6 +188,9 @@ class TestCliCampaign:
         assert code == 2
         assert "mutually exclusive" in text
 
-    def test_unknown_chaos_profile_rejected_by_parser(self):
-        with pytest.raises(SystemExit):
-            build_parser().parse_args(["campaign", "--chaos", "meteor"])
+    def test_unknown_chaos_profile_rejected(self):
+        # Rejection moved from argparse choices= into the command so
+        # that `--chaos list` can print the profile catalogue.
+        code, text = self.run_cli(["campaign", "--chaos", "meteor"])
+        assert code == 2
+        assert "meteor" in text

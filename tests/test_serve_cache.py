@@ -1,0 +1,204 @@
+"""Unit tests for the shared TTL-expiry helper and the unified
+ResolverCache: RFC 2308 negative caching (NXDOMAIN vs NODATA, SOA
+minimum keyed TTL) and the RFC 8767 stale window."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dns import A, DnsName, ResolverCache, RRType
+from repro.dns.cache import (
+    MAX_RESOLVER_TTL,
+    NEGATIVE_KINDS,
+    TtlExpiry,
+    ZoneCutCache,
+)
+from repro.dns.rrset import RRset
+from repro.net import IPv4Address, SimulatedClock
+
+NAME = DnsName.parse
+IP = IPv4Address.parse
+
+
+def make_rrset(name="www.gov.au.", ttl=300):
+    return RRset(
+        name=NAME(name), rrtype=RRType.A, ttl=ttl, rdatas=(A(IP("9.9.9.9")),)
+    )
+
+
+class TestTtlExpiry:
+    def test_rejects_nonpositive_max_ttl(self):
+        with pytest.raises(ValueError, match="positive"):
+            TtlExpiry(SimulatedClock(), 0)
+
+    def test_clamp_is_the_seven_day_default_story(self):
+        expiry = TtlExpiry(SimulatedClock(), MAX_RESOLVER_TTL)
+        assert expiry.clamp(60) == 60
+        assert expiry.clamp(MAX_RESOLVER_TTL * 10) == MAX_RESOLVER_TTL
+
+    def test_expires_at_uses_clamped_ttl(self):
+        clock = SimulatedClock(now=100.0)
+        expiry = TtlExpiry(clock, max_ttl=500)
+        assert expiry.expires_at(300) == 400.0
+        assert expiry.expires_at(10_000) == 600.0
+
+    def test_expired_with_grace_window(self):
+        clock = SimulatedClock()
+        expiry = TtlExpiry(clock, max_ttl=500)
+        horizon = expiry.expires_at(100)
+        clock.advance(150.0)
+        assert expiry.expired(horizon)
+        assert not expiry.expired(horizon, grace=100.0)
+        clock.advance(50.0)
+        assert expiry.expired(horizon, grace=100.0)
+
+    def test_frozen_mode_pins_expired_but_not_lapsed(self):
+        clock = SimulatedClock()
+        expiry = TtlExpiry(clock, max_ttl=500)
+        horizon = expiry.expires_at(100)
+        expiry.freeze()
+        clock.advance(10_000.0)
+        assert not expiry.expired(horizon)  # reads pinned
+        assert expiry.lapsed(horizon)  # raw horizon still honest
+
+
+class TestResolverCacheNegative:
+    def setup_method(self):
+        self.clock = SimulatedClock()
+        self.cache = ResolverCache(self.clock, negative_ttl=900)
+        self.qname = NAME("missing.gov.au.")
+
+    def test_both_rfc2308_kinds_are_cacheable(self):
+        assert NEGATIVE_KINDS == ("nxdomain", "nodata")
+        for kind in NEGATIVE_KINDS:
+            name = NAME(f"{kind}.gov.au.")
+            self.cache.put_negative(name, RRType.A, kind=kind)
+            found = self.cache.lookup(name, RRType.A)
+            assert found.state == "negative"
+            assert found.kind == kind
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="servfail"):
+            self.cache.put_negative(self.qname, RRType.A, kind="servfail")
+
+    def test_soa_minimum_keys_the_negative_ttl(self):
+        self.cache.put_negative(
+            self.qname, RRType.A, kind="nxdomain", soa_minimum=60
+        )
+        self.clock.advance(59.0)
+        assert self.cache.lookup(self.qname, RRType.A).state == "negative"
+        self.clock.advance(2.0)
+        assert self.cache.lookup(self.qname, RRType.A).state == "miss"
+
+    def test_soa_minimum_is_capped_by_negative_ttl(self):
+        # A zone advertising a week-long minimum must not pin the
+        # negative entry past the cache's own ceiling.
+        self.cache.put_negative(
+            self.qname, RRType.A, kind="nxdomain", soa_minimum=604_800
+        )
+        self.clock.advance(901.0)
+        assert self.cache.lookup(self.qname, RRType.A).state == "miss"
+
+    def test_get_state_distinguishes_negative_from_miss(self):
+        assert self.cache.get_state(self.qname, RRType.A) == ("miss", None)
+        self.cache.put_negative(self.qname, RRType.A)
+        assert self.cache.get_state(self.qname, RRType.A) == ("negative", None)
+        assert self.cache.get(self.qname, RRType.A) is None
+
+
+class TestResolverCacheStaleWindow:
+    def setup_method(self):
+        self.clock = SimulatedClock()
+        self.cache = ResolverCache(
+            self.clock, negative_ttl=300, stale_window=3600.0
+        )
+
+    def test_fresh_then_stale_then_evicted(self):
+        rrset = make_rrset(ttl=300)
+        self.cache.put(rrset)
+        found = self.cache.lookup(rrset.name, RRType.A)
+        assert found.state == "fresh" and found.rrset is rrset
+        self.clock.advance(301.0)
+        found = self.cache.lookup(rrset.name, RRType.A)
+        assert found.state == "stale" and found.is_stale
+        assert found.rrset is rrset
+        assert len(self.cache) == 1  # stale entries are kept, not dropped
+        self.clock.advance(3600.0)
+        assert self.cache.lookup(rrset.name, RRType.A).state == "miss"
+        assert len(self.cache) == 0
+
+    def test_stale_negative_preserves_kind(self):
+        qname = NAME("apex.gov.au.")
+        self.cache.put_negative(qname, RRType.A, kind="nodata")
+        self.clock.advance(301.0)
+        found = self.cache.lookup(qname, RRType.A)
+        assert found.state == "stale_negative"
+        assert found.kind == "nodata"
+
+    def test_counters_split_fresh_stale_miss(self):
+        rrset = make_rrset(ttl=300)
+        self.cache.put(rrset)
+        self.cache.lookup(rrset.name, RRType.A)
+        self.clock.advance(301.0)
+        self.cache.lookup(rrset.name, RRType.A)
+        self.clock.advance(3600.0)
+        self.cache.lookup(rrset.name, RRType.A)
+        assert (self.cache.hits, self.cache.stale_hits, self.cache.misses) == (
+            1,
+            1,
+            1,
+        )
+
+    def test_get_state_treats_stale_as_miss(self):
+        # The probing resolver (stale-blind by construction) must keep
+        # seeing exactly the legacy hit/miss behaviour.
+        rrset = make_rrset(ttl=300)
+        self.cache.put(rrset)
+        self.clock.advance(301.0)
+        assert self.cache.get_state(rrset.name, RRType.A) == ("miss", None)
+
+    def test_zero_window_reproduces_legacy_drop_on_read(self):
+        cache = ResolverCache(self.clock, stale_window=0.0)
+        rrset = make_rrset(ttl=300)
+        cache.put(rrset)
+        self.clock.advance(301.0)
+        assert cache.lookup(rrset.name, RRType.A).state == "miss"
+        assert len(cache) == 0
+
+    def test_expire_stale_honours_retention_horizon(self):
+        self.cache.put(make_rrset(ttl=300))
+        self.clock.advance(301.0)
+        assert self.cache.expire_stale() == 0  # inside the window: kept
+        self.clock.advance(3600.0)
+        assert self.cache.expire_stale() == 1
+
+    def test_freeze_prunes_past_retention_then_pins(self):
+        keep = make_rrset("keep.gov.au.", ttl=300)
+        drop = make_rrset("drop.gov.au.", ttl=1)
+        self.cache.put(keep)
+        self.cache.put(drop)
+        self.clock.advance(3602.0)  # drop past window; keep still inside
+        assert self.cache.freeze() == 1
+        assert self.cache.frozen
+        self.clock.advance(100_000.0)
+        found = self.cache.lookup(keep.name, RRType.A)
+        assert found.state == "fresh"  # pinned reads ignore the clock
+        self.cache.put(make_rrset("late.gov.au."))  # writes are no-ops
+        assert len(self.cache) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="positive"):
+            ResolverCache(self.clock, negative_ttl=0)
+        with pytest.raises(ValueError, match=">= 0"):
+            ResolverCache(self.clock, stale_window=-1.0)
+
+
+class TestSharedExpirySemantics:
+    def test_zone_cut_cache_rides_the_same_helper(self):
+        clock = SimulatedClock()
+        cuts = ZoneCutCache(clock, max_ttl=100)
+        cuts.put(NAME("gov.au."), (NAME("ns1.gov.au."),), {}, ttl=5_000)
+        clock.advance(99.0)
+        assert cuts.get(NAME("gov.au.")) is not None  # clamped, not 5000s
+        clock.advance(2.0)
+        assert cuts.get(NAME("gov.au.")) is None

@@ -1,0 +1,215 @@
+"""The ``repro serve`` subcommand and the serving report.
+
+Includes the issue's acceptance gate: under the ``mixed`` chaos
+profile at scale 0.05, enabling serve-stale must measurably raise the
+answered fraction over a disabled run, and both configurations must be
+run-to-run deterministic (byte-identical report digests)."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.net.chaos import PROFILE_DESCRIPTIONS, PROFILES, describe_profiles
+from repro.report.serving import ServingReport
+from repro.serve import (
+    ClientWorkload,
+    RecursiveService,
+    ServeConfig,
+    WorkloadConfig,
+    targets_from_world,
+    workload_digest,
+)
+
+
+def run_cli(argv):
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+def digest_line(text):
+    lines = [
+        line
+        for line in text.splitlines()
+        if line.startswith("serving-digest:")
+    ]
+    assert len(lines) == 1
+    return lines[0]
+
+
+class TestChaosList:
+    """Satellite (c): both chaos-capable subcommands self-document."""
+
+    @pytest.mark.parametrize("command", ["campaign", "serve"])
+    def test_chaos_list_prints_all_profiles(self, command):
+        code, text = run_cli([command, "--chaos", "list"])
+        assert code == 0
+        for profile in PROFILES:
+            assert profile in text
+            assert PROFILE_DESCRIPTIONS[profile] in text
+
+    @pytest.mark.parametrize("command", ["campaign", "serve"])
+    def test_unknown_profile_is_an_error(self, command):
+        code, text = run_cli([command, "--chaos", "hurricane"])
+        assert code == 2
+        assert "hurricane" in text
+
+    def test_descriptions_cover_every_profile(self):
+        assert set(PROFILE_DESCRIPTIONS) == set(PROFILES)
+        listing = describe_profiles()
+        assert all(profile in listing for profile in PROFILES)
+
+
+SMALL = ["--scale", "0.004", "--seed", "7"]
+SHORT = ["serve", "--duration", "120", "--qps", "10"]
+
+
+class TestServeCommand:
+    def test_serve_runs_and_prints_digest(self):
+        code, text = run_cli(SMALL + SHORT)
+        assert code == 0
+        assert "answered" in text
+        assert digest_line(text)
+
+    def test_report_out_writes_canonical_json(self, tmp_path):
+        path = str(tmp_path / "serving.json")
+        code, text = run_cli(SMALL + SHORT + ["--report-out", path])
+        assert code == 0
+        payload = json.loads(open(path).read())
+        assert payload["total_queries"] > 0
+        assert set(payload["state_counts"]) == {
+            "fresh",
+            "stale_served",
+            "failed",
+        }
+
+    def test_run_to_run_deterministic(self):
+        first = run_cli(SMALL + SHORT + ["--chaos", "outage"])
+        second = run_cli(SMALL + SHORT + ["--chaos", "outage"])
+        assert first[0] == second[0] == 0
+        assert digest_line(first[1]) == digest_line(second[1])
+
+
+def run_profile(world, profile, serve_stale=True, duration=300.0):
+    """One serving run over a chaos profile, via the library API.
+
+    Regenerates the world per run (the serving loop mutates network
+    state), mirroring exactly what ``_cmd_serve`` does.
+    """
+    from repro.dns import Rcode, make_response
+    from repro.net.chaos import build_profile
+    from repro.worldgen import WorldConfig, WorldGenerator
+
+    fresh = WorldGenerator(
+        WorldConfig(seed=7, scale=world.config.scale)
+    ).generate()
+    config = ServeConfig(serve_stale=serve_stale)
+    service = RecursiveService(
+        fresh.network,
+        fresh.root_addresses,
+        source=fresh.probe_source,
+        config=config,
+        seed=7,
+    )
+    workload = ClientWorkload(
+        targets_from_world(fresh),
+        WorkloadConfig(duration=duration, mean_qps=10.0),
+        seed=7,
+    )
+    queries = workload.generate()
+    service.warm(queries)
+    fresh.clock.advance(config.max_ttl + 1.0)
+    chaos = None
+    if profile is not None:
+        chaos = build_profile(
+            profile,
+            sorted(fresh.network.addresses()),
+            seed=7,
+            start=fresh.clock.now,
+            refusal_factory=lambda query: make_response(
+                query, rcode=Rcode.REFUSED
+            ),
+        )
+        fresh.network.chaos = chaos
+    answers = service.run(queries)
+    return ServingReport.collect(
+        answers,
+        service,
+        seed=7,
+        profile=profile,
+        duration=duration,
+        workload_digest=workload_digest(queries),
+        chaos_stats=chaos.stats.as_dict() if chaos is not None else None,
+    )
+
+
+class TestServeStaleByProfile:
+    """Satellite (d): stale-served fraction per chaos profile."""
+
+    def test_idle_schedule_serves_nothing_stale(self, world):
+        report = run_profile(world, None)
+        assert report.stale_served_fraction == 0.0
+        assert report.state_counts["stale_served"] == 0
+        # Not 1.0: the generated world ships genuinely defective
+        # domains (lame delegations, dangling NS) even without chaos.
+        assert report.answered_fraction > 0.9
+
+    @pytest.mark.parametrize("profile", ["outage", "mixed"])
+    def test_chaos_profiles_serve_stale(self, world, profile):
+        report = run_profile(world, profile)
+        assert report.stale_served_fraction > 0.0
+        assert report.service["cache_stale_hits"] > 0
+
+    def test_disabled_serve_stale_never_reports_stale(self, world):
+        report = run_profile(world, "mixed", serve_stale=False)
+        assert report.stale_served_fraction == 0.0
+        assert report.service["stale_instant_serves"] == 0
+        assert report.service["cache_stale_hits"] == 0
+
+
+class TestAcceptanceScale005:
+    """The issue's acceptance bar, at the stated scale."""
+
+    ARGS = [
+        "--scale",
+        "0.05",
+        "--seed",
+        "7",
+        "serve",
+        "--chaos",
+        "mixed",
+        "--duration",
+        "300",
+    ]
+
+    @pytest.fixture(scope="class")
+    def runs(self):
+        enabled = [run_cli(self.ARGS) for _ in range(2)]
+        disabled = [
+            run_cli(self.ARGS + ["--no-serve-stale"]) for _ in range(2)
+        ]
+        return enabled, disabled
+
+    @staticmethod
+    def answered_fraction(text):
+        report_line = next(
+            line for line in text.splitlines() if "answered" in line
+        )
+        return float(report_line.split("(")[1].split("%")[0])
+
+    def test_serve_stale_measurably_raises_answered_fraction(self, runs):
+        enabled, disabled = runs
+        assert all(code == 0 for code, _ in enabled + disabled)
+        with_stale = self.answered_fraction(enabled[0][1])
+        without = self.answered_fraction(disabled[0][1])
+        assert with_stale > without + 10.0  # measurable, not marginal
+
+    def test_both_configurations_run_to_run_deterministic(self, runs):
+        enabled, disabled = runs
+        assert digest_line(enabled[0][1]) == digest_line(enabled[1][1])
+        assert digest_line(disabled[0][1]) == digest_line(disabled[1][1])
+        assert digest_line(enabled[0][1]) != digest_line(disabled[0][1])

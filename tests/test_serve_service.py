@@ -1,0 +1,337 @@
+"""The serving layer: degradation states, serve-stale, background
+refresh, health-aware upstream selection — and the satellite regression
+that an upstream SERVFAIL is *never* cached as a negative answer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dns import (
+    A,
+    AuthoritativeServer,
+    DnsName,
+    NS,
+    Rcode,
+    RRType,
+    SOA,
+    Zone,
+    make_response,
+)
+from repro.dns.resolver import _dominant_failure
+from repro.net import IPv4Address, SimulatedClock
+from repro.net.network import FunctionHost, Network
+from repro.serve import (
+    ClientQuery,
+    DegradationState,
+    RecursiveService,
+    ServeConfig,
+    UpstreamHealth,
+)
+
+NAME = DnsName.parse
+IP = IPv4Address.parse
+
+
+def client_query(name, kind="popular"):
+    return ClientQuery(
+        at=0.0, qname=NAME(name), qtype=RRType.A, iso2="au", kind=kind
+    )
+
+
+def make_service(mini, **config_kwargs):
+    kwargs = dict(
+        max_ttl=60,
+        negative_ttl=60,
+        stale_window=3600.0,
+        upstream_timeout=1.5,
+    )
+    kwargs.update(config_kwargs)
+    return RecursiveService(
+        mini["network"],
+        [mini["root_address"]],
+        config=ServeConfig(**kwargs),
+        seed=0,
+    )
+
+
+class TestDominantFailure:
+    def test_priority_order(self):
+        assert _dominant_failure(["timeout", "servfail"]) == "servfail"
+        assert _dominant_failure(["timeout", "refused"]) == "refused"
+        assert _dominant_failure(["timeout", "lame"]) == "lame"
+        assert _dominant_failure(["timeout"]) == "timeout"
+
+    def test_empty_means_no_servers(self):
+        assert _dominant_failure([]) == "no_servers"
+
+
+class TestServfailNeverPoisons:
+    """Satellite (b): a SERVFAIL upstream must surface as a *failure*
+    with its reason preserved — never be cached as NXDOMAIN/NODATA."""
+
+    def _servfail_gov(self, mini):
+        mini["network"].detach(mini["gov_address"])
+        mini["network"].attach(
+            mini["gov_address"],
+            FunctionHost(
+                lambda query, source: make_response(
+                    query, rcode=Rcode.SERVFAIL
+                )
+            ),
+        )
+
+    def test_resolver_reports_servfail_reason(self, mini_dns):
+        self._servfail_gov(mini_dns)
+        resolution = mini_dns["resolver"].resolve(
+            NAME("www.gov.au."), RRType.A
+        )
+        assert resolution.status == "servfail"
+        assert resolution.failure_reason == "servfail"
+
+    def test_negative_cache_not_poisoned(self, mini_dns):
+        self._servfail_gov(mini_dns)
+        service = make_service(mini_dns)
+        answer = service.serve(client_query("www.gov.au."))
+        assert answer.status == "servfail"
+        assert answer.state == DegradationState.FAILED
+        assert answer.failure_reason == "servfail"
+        # The regression: the cache must record NOTHING for this name —
+        # a later lookup is a miss, not a cached NXDOMAIN.
+        found = service.cache.lookup(NAME("www.gov.au."), RRType.A)
+        assert found.state == "miss"
+        assert found.kind is None
+
+    def test_timeout_reason_distinct_from_servfail(self, mini_dns):
+        mini_dns["network"].detach(mini_dns["gov_address"])
+        resolution = mini_dns["resolver"].resolve(
+            NAME("www.gov.au."), RRType.A
+        )
+        assert resolution.status == "servfail"
+        assert resolution.failure_reason == "timeout"
+
+    def test_real_nxdomain_still_caches_with_soa(self, mini_dns):
+        service = make_service(mini_dns)
+        answer = service.serve(client_query("missing.gov.au.", "nxdomain"))
+        assert answer.status == "nxdomain"
+        assert answer.state == DegradationState.FRESH
+        found = service.cache.lookup(NAME("missing.gov.au."), RRType.A)
+        assert found.state == "negative"
+        assert found.kind == "nxdomain"
+
+
+class TestSoaMinimumKeying:
+    def _single_zone_world(self, soa_minimum):
+        network = Network()
+        root_address, x_address = IP("198.41.0.4"), IP("5.0.0.1")
+        root_zone = Zone(NAME("."))
+        root_zone.add_records(NAME("."), NS(NAME("a.root-servers.net.")))
+        root_zone.add_records(NAME("x."), NS(NAME("ns.x.")))
+        root_zone.add_records(NAME("ns.x."), A(x_address))
+        root_server = AuthoritativeServer(NAME("a.root-servers.net."))
+        root_server.load_zone(root_zone)
+        network.attach(root_address, root_server)
+        x_zone = Zone(NAME("x."))
+        x_zone.add_records(NAME("x."), NS(NAME("ns.x.")))
+        x_zone.add_records(
+            NAME("x."),
+            SOA(NAME("ns.x."), NAME("host.x."), minimum=soa_minimum),
+        )
+        x_zone.add_records(NAME("ns.x."), A(x_address))
+        x_server = AuthoritativeServer(NAME("ns.x."))
+        x_server.load_zone(x_zone)
+        network.attach(x_address, x_server)
+        return network, root_address
+
+    def test_low_soa_minimum_shortens_negative_ttl(self):
+        network, root = self._single_zone_world(soa_minimum=30)
+        service = RecursiveService(
+            network, [root], config=ServeConfig(negative_ttl=300)
+        )
+        query = ClientQuery(
+            at=0.0,
+            qname=NAME("missing.x."),
+            qtype=RRType.A,
+            iso2="xx",
+            kind="nxdomain",
+        )
+        answer = service.serve(query)
+        assert answer.status == "nxdomain"
+        found = service.cache.lookup(NAME("missing.x."), RRType.A)
+        assert found.state == "negative"
+        # TTL keyed on the SOA minimum (30), not negative_ttl (300).
+        assert found.expires_at - network.clock.now == pytest.approx(
+            30.0, abs=1e-6
+        )
+
+
+class TestServeStaleLifecycle:
+    def test_warm_then_fresh_cache_hit(self, mini_dns):
+        service = make_service(mini_dns)
+        query = client_query("www.gov.au.")
+        assert service.warm([query]) == 1
+        answer = service.serve(query)
+        assert (answer.state, answer.source) == (
+            DegradationState.FRESH,
+            "cache",
+        )
+        assert answer.latency == 0.0
+
+    def test_outage_serves_stale_with_timeout_reason(self, mini_dns):
+        service = make_service(mini_dns)
+        query = client_query("www.gov.au.")
+        service.warm([query])
+        mini_dns["network"].clock.advance(61.0)  # past max_ttl: now stale
+        mini_dns["network"].detach(mini_dns["gov_address"])
+        answer = service.serve(query)
+        assert answer.state == DegradationState.STALE_SERVED
+        assert answer.status == "ok"
+        assert answer.source == "stale"
+        assert answer.failure_reason == "timeout"
+        assert service.pending_refreshes() == 1
+
+    def test_second_stale_query_is_instant(self, mini_dns):
+        service = make_service(mini_dns)
+        query = client_query("www.gov.au.")
+        service.warm([query])
+        mini_dns["network"].clock.advance(61.0)
+        mini_dns["network"].detach(mini_dns["gov_address"])
+        service.serve(query)
+        before = mini_dns["network"].clock.now
+        answer = service.serve(query)
+        assert answer.state == DegradationState.STALE_SERVED
+        assert answer.latency == 0.0
+        assert mini_dns["network"].clock.now == before  # no upstream trip
+        assert service.stale_instant_serves == 1
+
+    def test_background_refresh_recovers_fresh_entry(self, mini_dns):
+        service = make_service(mini_dns)
+        query = client_query("www.gov.au.")
+        service.warm([query])
+        clock = mini_dns["network"].clock
+        clock.advance(61.0)
+        gov_server = mini_dns["gov_server"]
+        mini_dns["network"].detach(mini_dns["gov_address"])
+        service.serve(query)  # stale-served; refresh scheduled
+        mini_dns["network"].attach(mini_dns["gov_address"], gov_server)
+        clock.advance(130.0)  # past the refresh backoff cap
+        assert service.run_due_refreshes() >= 1
+        assert service.refreshes_ok == 1
+        assert service.pending_refreshes() == 0
+        answer = service.serve(query)
+        assert (answer.state, answer.source) == (
+            DegradationState.FRESH,
+            "cache",
+        )
+
+    def test_bounded_refresh_abandons_dead_name(self, mini_dns):
+        service = make_service(mini_dns, refresh_attempts=2)
+        query = client_query("www.gov.au.")
+        service.warm([query])
+        clock = mini_dns["network"].clock
+        clock.advance(61.0)
+        mini_dns["network"].detach(mini_dns["gov_address"])
+        service.serve(query)
+        for _ in range(4):
+            clock.advance(130.0)
+            service.run_due_refreshes()
+        assert service.refreshes_abandoned == 1
+        assert service.pending_refreshes() == 0
+
+    def test_no_stale_entry_means_failed(self, mini_dns):
+        service = make_service(mini_dns)
+        mini_dns["network"].detach(mini_dns["gov_address"])
+        answer = service.serve(client_query("www.gov.au."))
+        assert answer.state == DegradationState.FAILED
+        assert answer.status == "servfail"
+        assert answer.source == "none"
+        assert not answer.answered
+
+    def test_serve_stale_disabled_fails_instead(self, mini_dns):
+        service = make_service(mini_dns, serve_stale=False)
+        query = client_query("www.gov.au.")
+        service.warm([query])
+        mini_dns["network"].clock.advance(61.0)
+        mini_dns["network"].detach(mini_dns["gov_address"])
+        answer = service.serve(query)
+        assert answer.state == DegradationState.FAILED
+        assert service.cache.stale_window == 0.0
+
+    def test_prefetch_near_expiry(self, mini_dns):
+        service = make_service(mini_dns, prefetch_horizon=30.0)
+        query = client_query("www.gov.au.")
+        service.warm([query])
+        mini_dns["network"].clock.advance(40.0)  # 20s left < 30s horizon
+        answer = service.serve(query)
+        assert answer.state == DegradationState.FRESH
+        assert service.prefetches == 1
+        assert service.pending_refreshes() == 1
+
+    def test_nodata_apex_round_trips_through_cache(self, mini_dns):
+        service = make_service(mini_dns)
+        query = client_query("gov.au.", "nodata")
+        first = service.serve(query)
+        assert (first.status, first.source) == ("nodata", "upstream")
+        second = service.serve(query)
+        assert (second.status, second.source) == ("nodata", "cache_negative")
+
+
+class TestUpstreamHealth:
+    def test_order_is_srtt_then_address(self):
+        health = UpstreamHealth(SimulatedClock())
+        fast, slow = IP("1.0.0.1"), IP("1.0.0.2")
+        health.observe(slow, 2.0)
+        health.observe(fast, 0.01)
+        assert health.order([slow, fast, slow]) == [fast, slow]
+
+    def test_unknown_addresses_tie_break_on_address(self):
+        health = UpstreamHealth(SimulatedClock())
+        a, b = IP("9.0.0.1"), IP("8.0.0.1")
+        assert health.order([a, b]) == [b, a]
+
+    def test_silence_inflates_srtt_and_opens_breaker(self):
+        health = UpstreamHealth(
+            SimulatedClock(), breaker_threshold=2, timeout_srtt=3.0
+        )
+        addr = IP("1.0.0.1")
+        health.observe(addr, None)
+        assert health.srtt(addr) == 3.0
+        assert health.admit(addr)
+        health.observe(addr, None)
+        assert not health.admit(addr)  # breaker open
+        assert health.breaker.trips == 1
+
+    def test_any_response_closes_the_failure_streak(self):
+        health = UpstreamHealth(SimulatedClock(), breaker_threshold=2)
+        addr = IP("1.0.0.1")
+        health.observe(addr, None)
+        health.observe(addr, 0.5)  # REFUSED/SERVFAIL still count as alive
+        health.observe(addr, None)
+        assert health.admit(addr)
+
+    def test_srtt_is_an_ewma(self):
+        health = UpstreamHealth(SimulatedClock(), srtt_alpha=0.5)
+        addr = IP("1.0.0.1")
+        health.observe(addr, 1.0)
+        health.observe(addr, 0.0)
+        assert health.srtt(addr) == pytest.approx(0.5)
+        assert health.tracked() == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="srtt_alpha"):
+            UpstreamHealth(SimulatedClock(), srtt_alpha=0.0)
+        with pytest.raises(ValueError, match="positive"):
+            UpstreamHealth(SimulatedClock(), default_srtt=0.0)
+
+
+class TestServeConfigValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"stale_window": -1.0},
+            {"prefetch_horizon": -0.1},
+            {"refresh_attempts": 0},
+        ],
+    )
+    def test_rejects_bad_values(self, kwargs):
+        with pytest.raises(ValueError):
+            ServeConfig(**kwargs)
