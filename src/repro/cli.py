@@ -10,6 +10,7 @@ Commands
 ``disclose``   responsible-disclosure notifications per operator
 ``lint``       run reprolint, the AST-based invariant checker
 ``zonelint``   statically analyze the generated world's delegation graph
+``servelint``  static cache-survivability analysis of the serving layer
 ``oracle``     differentially verify the campaign against zonelint truth
 ``campaign``   run the probe campaign with chaos/journal/resume controls
 ``bench``      run the probe benchmark suite (writes BENCH_probe.json)
@@ -28,6 +29,7 @@ from typing import Optional, Sequence
 from .core.study import GovernmentDnsStudy
 from .lint import cli as lint_cli
 from .net.chaos import PROFILES as _ORACLE_CHAOS_PROFILES
+from .servelint import cli as servelint_cli
 from .zonelint import cli as zonelint_cli
 from .report.paperkit import ARTIFACTS, export_all
 from .report.tables import format_percent, render_table
@@ -87,6 +89,15 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     zonelint_cli.configure_parser(zonelint)
+
+    servelint = sub.add_parser(
+        "servelint",
+        help=(
+            "statically analyze cache survivability of the serving "
+            "layer under the committed chaos profiles"
+        ),
+    )
+    servelint_cli.configure_parser(servelint)
 
     oracle = sub.add_parser(
         "oracle",
@@ -456,6 +467,10 @@ def _cmd_zonelint(args: argparse.Namespace, out) -> int:
     return zonelint_cli.run(args, out)
 
 
+def _cmd_servelint(args: argparse.Namespace, out) -> int:
+    return servelint_cli.run(args, out)
+
+
 def _cmd_oracle(args: argparse.Namespace, out) -> int:
     from .core.oracle import ORACLE_MODES, run_oracle_mode
     from .report.oracle import (
@@ -507,9 +522,8 @@ def _check_chaos_arg(chaos: Optional[str], out) -> Optional[int]:
 
 
 def _cmd_serve(args: argparse.Namespace, out) -> int:
-    from .dns.message import Rcode, make_response
-    from .net.chaos import build_profile
     from .report.serving import ServingReport
+    from .serve.profiles import install_chaos_profile
     from .serve.service import RecursiveService, ServeConfig
     from .serve.workload import (
         ClientWorkload,
@@ -557,15 +571,7 @@ def _cmd_serve(args: argparse.Namespace, out) -> int:
         world.clock.advance(config.max_ttl + 1.0)
 
     if args.chaos is not None:
-        world.network.chaos = build_profile(
-            args.chaos,
-            sorted(world.network.addresses()),
-            seed=args.seed,
-            start=world.clock.now,
-            refusal_factory=lambda query: make_response(
-                query, rcode=Rcode.REFUSED
-            ),
-        )
+        install_chaos_profile(world.network, args.chaos, seed=args.seed)
 
     answers = service.run(queries)
     report = ServingReport.collect(
@@ -597,10 +603,9 @@ def _cmd_serve(args: argparse.Namespace, out) -> int:
 def _cmd_campaign(args: argparse.Namespace, out) -> int:
     from .core.journal import CampaignJournal, dataset_digest
     from .core.probe import ActiveProber
-    from .dns.message import Rcode, make_response
-    from .net.chaos import build_profile
     from .net.events import CampaignAborted
     from .report.resilience import ResilienceReport
+    from .serve.profiles import install_chaos_profile
 
     chaos_status = _check_chaos_arg(args.chaos, out)
     if chaos_status is not None:
@@ -649,15 +654,7 @@ def _cmd_campaign(args: argparse.Namespace, out) -> int:
     targets = study.targets()
 
     if args.chaos is not None:
-        world.network.chaos = build_profile(
-            args.chaos,
-            sorted(world.network.addresses()),
-            seed=args.seed,
-            start=world.clock.now,
-            refusal_factory=lambda query: make_response(
-                query, rcode=Rcode.REFUSED
-            ),
-        )
+        install_chaos_profile(world.network, args.chaos, seed=args.seed)
 
     if shards is not None:
         from .core.probe import ProbeConfig
@@ -838,6 +835,7 @@ _COMMANDS = {
     "disclose": _cmd_disclose,
     "lint": _cmd_lint,
     "zonelint": _cmd_zonelint,
+    "servelint": _cmd_servelint,
     "oracle": _cmd_oracle,
     "campaign": _cmd_campaign,
     "serve": _cmd_serve,

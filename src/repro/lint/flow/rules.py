@@ -192,6 +192,7 @@ SINK_CALLS: Dict[str, str] = {
     "json.dump": "serialized output",
     "PerfRecord": "committed perf record",
     "MeasurementDataset.merge": "dataset merge admission order",
+    "ServingReport": "committed serving digest",
 }
 
 # Inferred receiver type prefix -> method names that are sinks on it.

@@ -559,7 +559,7 @@ class ImportLayeringRule(Rule):
     description = (
         "import crosses a package layering boundary "
         "(dns→net/core, worldgen→core, zonelint→core, "
-        "lint/inet→non-stdlib)"
+        "servelint→core, lint/inet→non-stdlib)"
     )
     severity = Severity.ERROR
     interests = (ast.Import, ast.ImportFrom)
@@ -569,6 +569,7 @@ class ImportLayeringRule(Rule):
         ("repro.dns", ("repro.net", "repro.core")),
         ("repro.worldgen", ("repro.core",)),
         ("repro.zonelint", ("repro.core",)),
+        ("repro.servelint", ("repro.core",)),
     )
 
     # Packages that must stay importable on nothing but the stdlib and

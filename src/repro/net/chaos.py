@@ -279,6 +279,29 @@ class FaultSchedule:
         self.stats = ChaosStats()
 
     # ------------------------------------------------------------------
+    # Window introspection (read-only)
+    # ------------------------------------------------------------------
+    # Static analyzers (repro.servelint) reuse the canonical profiles
+    # *analytically*: they need the windows a schedule commits to, not
+    # the send-time decisions.  Exposing the tuples read-only keeps the
+    # mutation surface (arrival history, RNG) private.
+    @property
+    def outages(self) -> Tuple[OutageWindow, ...]:
+        return self._outages
+
+    @property
+    def bursts(self) -> Tuple[LossBurst, ...]:
+        return self._bursts
+
+    @property
+    def brownouts(self) -> Tuple[LatencyBrownout, ...]:
+        return self._brownouts
+
+    @property
+    def rate_limits(self) -> Tuple[RateLimitRule, ...]:
+        return self._rate_limits
+
+    # ------------------------------------------------------------------
     # Send-time decisions
     # ------------------------------------------------------------------
     def in_outage(self, destination: IPv4Address, now: float) -> bool:

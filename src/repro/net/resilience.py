@@ -31,7 +31,7 @@ reachable when neither intervenes.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, Set, Tuple
 
 from ..inet.backoff import BackoffPolicy
 from .address import IPv4Address
@@ -83,6 +83,7 @@ class CircuitBreaker:
         self._entries: Dict[IPv4Address, _BreakerEntry] = {}
         self.trips = 0
         self.skips = 0
+        self._ever_tripped: Set[IPv4Address] = set()
 
     def state_of(self, address: IPv4Address) -> str:
         entry = self._entries.get(address)
@@ -125,6 +126,15 @@ class CircuitBreaker:
             entry.state = BreakerState.OPEN
             entry.open_until = self._clock.now + self.cooldown
             self.trips += 1
+            self._ever_tripped.add(address)
+
+    def tripped_addresses(self) -> Tuple[IPv4Address, ...]:
+        """Every address that tripped the breaker at least once, sorted.
+
+        Cumulative (never cleared on recovery): differential oracles use
+        it to tell "the breaker shadowed this path at some point" apart
+        from "the path itself was dead"."""
+        return tuple(sorted(self._ever_tripped))
 
     def open_count(self) -> int:
         """How many addresses are currently open or half-open."""

@@ -1,0 +1,37 @@
+"""Canonical chaos-profile installation, shared by every consumer.
+
+``repro campaign``, ``repro serve``, and ``repro servelint --verify``
+all arm the same named fault profiles the same way: windows anchored at
+the network clock's current instant, targets drawn over the sorted
+address population, REFUSED responses synthesized through the DNS
+layer's ``make_response``.  Duplicating that block per command is how
+the anchoring conventions drift apart — this helper is the single copy.
+"""
+
+from __future__ import annotations
+
+from ..dns.message import Rcode, make_response
+from ..net.chaos import FaultSchedule, build_profile
+
+__all__ = ["install_chaos_profile"]
+
+
+def install_chaos_profile(network, name: str, seed: int) -> FaultSchedule:
+    """Build the named profile over ``network`` and install it.
+
+    Windows are anchored at ``network.clock.now`` — callers decide the
+    anchor by choosing *when* to install (the serve pipeline installs
+    after warm + TTL aging, the campaign after seed selection).
+    Returns the installed schedule.
+    """
+    schedule = build_profile(
+        name,
+        sorted(network.addresses()),
+        seed=seed,
+        start=network.clock.now,
+        refusal_factory=lambda query: make_response(
+            query, rcode=Rcode.REFUSED
+        ),
+    )
+    network.chaos = schedule
+    return schedule

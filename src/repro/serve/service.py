@@ -172,6 +172,11 @@ class RecursiveService:
         self._refresh_heap: List[Tuple[float, int, DnsName, str, int]] = []
         self._refresh_seq = 0
         self._pending: Set[Tuple[DnsName, str]] = set()
+        # Per-(qname, qtype) degradation-state tallies, fed by _answer.
+        # Consumed by the servelint differential oracle; deliberately
+        # NOT part of stats()/ServingReport so committed digests stay
+        # byte-identical.
+        self._outcomes: Dict[Tuple[DnsName, str], Dict[str, int]] = {}
         self.stale_instant_serves = 0
         self.prefetches = 0
         self.refreshes_run = 0
@@ -297,6 +302,8 @@ class RecursiveService:
         source: str,
         failure_reason: Optional[str] = None,
     ) -> ServeAnswer:
+        tally = self._outcomes.setdefault((query.qname, query.qtype), {})
+        tally[state] = tally.get(state, 0) + 1
         return ServeAnswer(
             at=query.at,
             qname=query.qname,
@@ -387,6 +394,21 @@ class RecursiveService:
 
     def pending_refreshes(self) -> int:
         return len(self._pending)
+
+    def outcome_ledger(
+        self,
+    ) -> Dict[Tuple[DnsName, str], Dict[str, int]]:
+        """Observed degradation states per served (qname, qtype).
+
+        Sorted copies all the way down, so consumers can serialize the
+        ledger without re-canonicalizing it."""
+        return {
+            key: {
+                state: self._outcomes[key][state]
+                for state in sorted(self._outcomes[key])
+            }
+            for key in sorted(self._outcomes)
+        }
 
     # ------------------------------------------------------------------
     # Report surface

@@ -1,0 +1,106 @@
+"""Rule vocabulary for the static cache-survivability analyzer.
+
+Each SV rule names one way client-facing resolution degrades when
+infrastructure fails — the serving-layer twin of zonelint's delegation
+smells.  Where zonelint asks "is this delegation broken *now*?",
+servelint asks "when the committed chaos profiles fire, does this
+domain keep answering, answer stale, or go dark?" — the question the
+paper's resilience findings (single-NS governments, provider
+concentration) pose and the follow-on resilience study measures.
+
+Rules are plain descriptors duck-type compatible with reprolint's, so
+the shared text/JSON/SARIF reporters render them unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from ..lint.findings import Severity
+
+__all__ = [
+    "SurvivabilityRule",
+    "SV_RULES",
+    "RULES_BY_ID",
+    "NEGATIVE_TTL_FLOOR",
+    "TTL_COHORT_SHARE",
+    "TTL_COHORT_MIN",
+]
+
+# SV005 fires when the effective negative TTL drops below this floor:
+# every NXDOMAIN in a typo storm then re-hits the upstream within the
+# storm itself instead of being absorbed by the negative cache.
+NEGATIVE_TTL_FLOOR = 60
+
+# SV006 fires when at least this share of answerable domains (and at
+# least TTL_COHORT_MIN of them) collapse to one clamped TTL: a warm
+# phase synchronizes their expiries, so they all refresh in one burst.
+TTL_COHORT_SHARE = 0.5
+TTL_COHORT_MIN = 8
+
+
+@dataclass(frozen=True)
+class SurvivabilityRule:
+    """One servelint rule: duck-type compatible with reprolint's rules
+    so the shared SARIF renderer accepts any family."""
+
+    rule_id: str
+    description: str
+    severity: Severity
+
+
+SV_RULES: Tuple[SurvivabilityRule, ...] = (
+    SurvivabilityRule(
+        "SV001",
+        "dark under outage: every serve path dies and no cache entry "
+        "bridges the fault window — clients see SERVFAIL",
+        Severity.ERROR,
+    ),
+    SurvivabilityRule(
+        "SV002",
+        "survives only via the RFC 8767 stale window: every upstream "
+        "path dies under the outage profile, answers degrade to stale",
+        Severity.WARNING,
+    ),
+    SurvivabilityRule(
+        "SV003",
+        "single-NS domain whose entire serve path dies under the "
+        "outage profile (the paper's d_1NS resilience finding)",
+        Severity.ERROR,
+    ),
+    SurvivabilityRule(
+        "SV004",
+        "positive TTL shorter than the committed outage window with no "
+        "surviving nameserver: live answers cannot outlast the fault",
+        Severity.WARNING,
+    ),
+    SurvivabilityRule(
+        "SV005",
+        "negative-TTL amplification: the effective negative TTL is so "
+        "short that NXDOMAIN storms re-hit the upstream",
+        Severity.WARNING,
+    ),
+    SurvivabilityRule(
+        "SV006",
+        "refresh-storm risk: a dominant cohort of domains shares one "
+        "clamped TTL, so warmed entries expire (and refresh) in sync",
+        Severity.NOTE,
+    ),
+    SurvivabilityRule(
+        "SV007",
+        "background refresh futile: the entire bounded backoff schedule "
+        "lands inside the outage window — every refresh is abandoned",
+        Severity.WARNING,
+    ),
+    SurvivabilityRule(
+        "SV008",
+        "stale window too small to bridge a committed chaos profile's "
+        "fault window",
+        Severity.NOTE,
+    ),
+)
+
+RULES_BY_ID: Dict[str, SurvivabilityRule] = {
+    rule.rule_id: rule for rule in SV_RULES
+}

@@ -279,7 +279,7 @@ def test_flw005_set_comprehension_via_join():
 
 
 # ----------------------------------------------------------------------
-# Sink coverage: PerfRecord and MeasurementDataset.merge
+# Sink coverage: PerfRecord, MeasurementDataset.merge, ServingReport
 # ----------------------------------------------------------------------
 def test_perf_record_is_a_sink():
     findings = analyze(
@@ -316,6 +316,44 @@ def test_dataset_merge_admission_order_is_a_sink():
     assert rule_ids(findings) == ["FLW005"]
     (finding,) = findings
     assert "admission order" in finding.message
+
+
+def test_serving_report_is_a_sink():
+    # ServingReport feeds the committed serving digests, so anything
+    # nondeterministic flowing into its fields corrupts byte-stable
+    # artifacts two hops later — same contract as PerfRecord.
+    findings = analyze(
+        (
+            "pkg/m.py",
+            """
+            import time
+
+            from repro.report.serving import ServingReport
+
+            def commit(stats):
+                stamp = time.time()
+                return ServingReport(stats, stamp)
+            """,
+        )
+    )
+    assert rule_ids(findings) == ["FLW001"]
+    (finding,) = findings
+    assert "serving digest" in finding.message
+
+
+def test_serving_report_clean_inputs_stay_quiet():
+    findings = analyze(
+        (
+            "pkg/m.py",
+            """
+            from repro.report.serving import ServingReport
+
+            def commit(stats, clock_now):
+                return ServingReport(stats, clock_now)
+            """,
+        )
+    )
+    assert not findings
 
 
 # ----------------------------------------------------------------------

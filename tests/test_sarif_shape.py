@@ -1,9 +1,10 @@
-"""SARIF 2.1.0 schema-shape audit, shared by both analyzer families.
+"""SARIF 2.1.0 schema-shape audit, shared by every analyzer family.
 
 ``repro.lint.output.render_sarif`` is the single renderer behind
-``reprolint`` and ``zonelint``; this test pins the document shape GitHub
-code scanning requires — for *both* tools — so neither family can drift
-away from the interchange contract without failing here.
+``reprolint``, ``zonelint``, ``flowlint``, and ``servelint``; this test
+pins the document shape GitHub code scanning requires — for *all four*
+tools — so no family can drift away from the interchange contract
+without failing here.
 """
 
 from __future__ import annotations
@@ -15,6 +16,7 @@ from repro.lint.baseline import Baseline, BaselineMatch
 from repro.lint.findings import Finding, Severity
 from repro.lint.flow import FLOW_RULES, analyze_sources
 from repro.lint.output import render_sarif
+from repro.servelint import RULES_BY_ID as SV_BY_ID, SV_RULES
 from repro.zonelint import RULES_BY_ID, ZL_RULES
 
 _LEVELS = {"error", "warning", "note"}
@@ -92,6 +94,57 @@ def test_zonelint_sarif_shape():
         for result in document["runs"][0]["results"]
     }
     assert uris == {"world/example.gov.xx."}
+
+
+def test_servelint_sarif_shape():
+    findings = [
+        Finding(
+            path=(
+                "world/serving-config"
+                if rule_id in ("SV006", "SV008")
+                else "world/example.gov.xx."
+            ),
+            line=1,
+            column=1,
+            rule_id=rule_id,
+            severity=SV_BY_ID[rule_id].severity,
+            message=f"synthetic {rule_id} degradation",
+            snippet=f"{rule_id} example.gov.xx.",
+        )
+        for rule_id in sorted(SV_BY_ID)
+    ]
+    match = BaselineMatch(new=findings)
+    document = json.loads(
+        render_sarif(match, SV_RULES, "1.0.0", tool="servelint")
+    )
+    assert_sarif_shape(document, "servelint", SV_RULES)
+    # Every SV rule appears once; both virtual path anchors survive.
+    results = document["runs"][0]["results"]
+    assert sorted(r["ruleId"] for r in results) == sorted(SV_BY_ID)
+    uris = {
+        result["locations"][0]["physicalLocation"]["artifactLocation"][
+            "uri"
+        ]
+        for result in results
+    }
+    assert uris == {"world/example.gov.xx.", "world/serving-config"}
+
+
+def test_servelint_rule_severity_tiers():
+    # Going-dark verdicts are errors, degraded-service verdicts are
+    # warnings, fleet-shape observations are notes.
+    by_tier = {
+        Severity.ERROR: {"SV001", "SV003"},
+        Severity.WARNING: {"SV002", "SV004", "SV005", "SV007"},
+        Severity.NOTE: {"SV006", "SV008"},
+    }
+    for severity, expected in by_tier.items():
+        actual = {
+            rule.rule_id
+            for rule in SV_RULES
+            if rule.severity is severity
+        }
+        assert actual == expected
 
 
 def _flow_findings():
