@@ -14,6 +14,7 @@ Commands
 ``oracle``     differentially verify the campaign against zonelint truth
 ``campaign``   run the probe campaign with chaos/journal/resume controls
 ``bench``      run the probe benchmark suite (writes BENCH_probe.json)
+``longitudinal`` run churn epochs with change-detection-scoped re-probing
 
 Common options: ``--seed`` and ``--scale`` select the deterministic
 world; everything else derives from them.
@@ -263,8 +264,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument(
         "--labels",
-        default="serial,concurrent,sharded",
-        help="comma-separated configurations to run (default: all three)",
+        default=(
+            "serial,concurrent,sharded,"
+            "longitudinal_full,longitudinal_incremental"
+        ),
+        help="comma-separated configurations to run (default: all five)",
     )
     bench.add_argument(
         "--scales",
@@ -284,6 +288,61 @@ def build_parser() -> argparse.ArgumentParser:
             "cumulative hotspot table (text to stdout, JSON next to "
             "--out as <out>.profile.json)"
         ),
+    )
+
+    longitudinal = sub.add_parser(
+        "longitudinal",
+        help=(
+            "run a churn-driven epoch campaign with change-detection-"
+            "scoped re-probing and print the trend report"
+        ),
+    )
+    longitudinal.add_argument(
+        "--epochs",
+        type=int,
+        default=3,
+        metavar="N",
+        help="churn epochs to run after the bootstrap (default: 3)",
+    )
+    longitudinal.add_argument(
+        "--audit-rate",
+        type=float,
+        default=0.01,
+        metavar="RATE",
+        help=(
+            "fraction of the universe re-probed each epoch regardless "
+            "of sensor opinion (default: 0.01)"
+        ),
+    )
+    longitudinal.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        metavar="N",
+        help="probe each epoch through N worker processes",
+    )
+    longitudinal.add_argument(
+        "--full",
+        action="store_true",
+        help=(
+            "naive baseline: re-probe the whole universe every epoch "
+            "instead of the sensor-scoped subset"
+        ),
+    )
+    longitudinal.add_argument(
+        "--compare-full",
+        action="store_true",
+        help=(
+            "run the incremental campaign AND a from-scratch full "
+            "campaign per epoch, asserting digest equality at every "
+            "epoch; exit 1 on any divergence (CI smoke mode)"
+        ),
+    )
+    longitudinal.add_argument(
+        "--report-out",
+        default=None,
+        metavar="PATH",
+        help="write the trend report as JSON to PATH",
     )
     return parser
 
@@ -826,6 +885,73 @@ def _cmd_bench(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _cmd_longitudinal(args: argparse.Namespace, out) -> int:
+    from .core.epoch import EpochRunner
+    from .report.trend import TrendReport
+
+    if args.full and args.compare_full:
+        print(
+            "error: --full and --compare-full are mutually exclusive",
+            file=out,
+        )
+        return 2
+    world = WorldGenerator(
+        WorldConfig(seed=args.seed, scale=args.scale)
+    ).generate()
+    runner = EpochRunner(
+        world,
+        incremental=not args.full,
+        audit_rate=args.audit_rate,
+        shards=args.shards,
+    )
+    runner.run(args.epochs)
+    report = TrendReport.from_runner(runner)
+    print(report.render(), file=out)
+    if args.report_out is not None:
+        report.write(args.report_out)
+        print(f"trend report written to {args.report_out}", file=out)
+
+    if args.compare_full:
+        # The equivalence certificate: every epoch's folded delta
+        # dataset must hash identically to a from-scratch full campaign
+        # over that epoch's world.
+        from .core.journal import dataset_digest
+        from .core.probe import ActiveProber
+        from .worldgen.churn import world_at_epoch
+
+        divergent = False
+        for epoch in range(args.epochs + 1):
+            fresh = world_at_epoch(args.seed, args.scale, epoch)
+            study = GovernmentDnsStudy(fresh)
+            prober = ActiveProber(
+                fresh.network, fresh.root_addresses, fresh.probe_source
+            )
+            full_digest = dataset_digest(prober.probe_all(study.targets()))
+            incremental_digest = runner.dataset.epoch_digest(epoch)
+            if full_digest == incremental_digest:
+                print(
+                    f"epoch {epoch}: incremental digest matches full "
+                    f"campaign ({full_digest[:12]}…)",
+                    file=out,
+                )
+            else:
+                divergent = True
+                print(
+                    f"epoch {epoch}: DIGEST DIVERGENCE incremental="
+                    f"{incremental_digest} full={full_digest}",
+                    file=out,
+                )
+        if divergent:
+            print("incremental-vs-full verification FAILED", file=out)
+            return 1
+        print(
+            f"incremental-vs-full verification passed for all "
+            f"{args.epochs + 1} epochs",
+            file=out,
+        )
+    return 0
+
+
 _COMMANDS = {
     "headline": _cmd_headline,
     "paperkit": _cmd_paperkit,
@@ -840,6 +966,7 @@ _COMMANDS = {
     "campaign": _cmd_campaign,
     "serve": _cmd_serve,
     "bench": _cmd_bench,
+    "longitudinal": _cmd_longitudinal,
 }
 
 

@@ -590,6 +590,7 @@ class MeasurementDataset:
         cls,
         parts: "Iterable[MeasurementDataset]",
         labels: Optional[Sequence[str]] = None,
+        epoch: Optional[int] = None,
     ) -> "MeasurementDataset":
         """Combine disjoint per-shard datasets into admission order.
 
@@ -601,6 +602,12 @@ class MeasurementDataset:
         partitioning bug and raise, naming the colliding domain and
         both offending shards (``labels`` defaults to positional
         ``"shard N"`` names).
+
+        ``epoch`` tags every shard name with the measurement epoch the
+        parts belong to, so a longitudinal pipeline that accidentally
+        merges shards from different epochs fails with both the epoch
+        and the shard named in the error instead of an anonymous
+        ``shard N`` collision.
         """
         materialized = list(parts)
         if labels is None:
@@ -611,6 +618,8 @@ class MeasurementDataset:
                 raise ValueError(
                     f"{len(names)} labels for {len(materialized)} shards"
                 )
+        if epoch is not None:
+            names = [f"epoch {epoch} {name}" for name in names]
         domains: List[DnsName] = []
         rows: List[ProbeResult] = []
         owner: Dict[DnsName, int] = {}

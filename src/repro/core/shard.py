@@ -174,6 +174,8 @@ class _ShardTask:
     chaos_profile: Optional[str]
     journal_path: Optional[str]
     kill_at_event: Optional[int]
+    epoch: int = 0
+    subset: Optional[Tuple[str, ...]] = None
     world: Any = field(default=None, repr=False)
     shard_targets: Optional[Dict[DnsName, str]] = field(
         default=None, repr=False
@@ -185,6 +187,8 @@ class _ShardTask:
         # Spawn path: regenerate the identical world and re-derive the
         # identical target list (both pure functions of seed/scale),
         # then take this worker's slice of the canonical partition.
+        # Epoch k's world is seed/scale world plus churn plans 1..k —
+        # also pure, so spawned workers converge with forked ones.
         from ..worldgen.config import WorldConfig
         from ..worldgen.generator import WorldGenerator
         from .study import GovernmentDnsStudy
@@ -192,8 +196,20 @@ class _ShardTask:
         world = WorldGenerator(
             WorldConfig(seed=self.seed, scale=self.scale)
         ).generate()
+        if self.epoch:
+            from ..worldgen.churn import advance_world
+
+            for step in range(1, self.epoch + 1):
+                advance_world(world, step)
         study = GovernmentDnsStudy(world, probe_config=self.config)
         targets = study.targets()
+        if self.subset is not None:
+            wanted = set(self.subset)
+            targets = {
+                domain: iso2
+                for domain, iso2 in targets.items()
+                if str(domain) in wanted
+            }
         suffixes = government_suffixes(study.seeds().values())
         parts = partition(targets, self.shards, suffixes)
         return world, parts[self.index]
@@ -306,6 +322,7 @@ class ProcessCampaignRunner:
         suffixes: FrozenSet[DnsName],
         journal_path: Optional[str] = None,
         kill_at_event: Optional[int] = None,
+        epoch: Optional[int] = None,
     ) -> None:
         if shards < 1:
             raise ValueError(f"shards must be >= 1, got {shards}")
@@ -316,6 +333,11 @@ class ProcessCampaignRunner:
         self._suffixes = suffixes
         self._journal_path = journal_path
         self._kill_at_event = kill_at_event
+        # Longitudinal context: which measurement epoch these targets
+        # belong to.  Spawned workers replay churn to this epoch, and
+        # merge-collision errors carry the epoch label (the world passed
+        # in must already be advanced to it).
+        self._epoch = epoch
         self.shard_stats: List[ShardStats] = []
 
     # ------------------------------------------------------------------
@@ -341,6 +363,13 @@ class ProcessCampaignRunner:
             )
         parts = partition(self._targets, self.shards, self._suffixes)
         config = self._world.config
+        # Under spawn, epoch probes ship their (possibly partial) target
+        # subset by name so workers can slice the re-derived full list.
+        subset = (
+            tuple(sorted(str(domain) for domain in self._targets))
+            if not forked and self._epoch is not None
+            else None
+        )
         return [
             _ShardTask(
                 index=index,
@@ -351,6 +380,8 @@ class ProcessCampaignRunner:
                 chaos_profile=chaos_name,
                 journal_path=self._journal_path,
                 kill_at_event=self._kill_at_event,
+                epoch=self._epoch or 0,
+                subset=subset,
                 world=self._world if forked else None,
                 shard_targets=parts[index] if forked else None,
             )
@@ -460,7 +491,9 @@ class ProcessCampaignRunner:
             for entries, _ in collected
         ]
         merged = MeasurementDataset.merge(
-            parts, labels=[f"shard {index}" for index in range(len(parts))]
+            parts,
+            labels=[f"shard {index}" for index in range(len(parts))],
+            epoch=self._epoch,
         )
         if len(merged) != len(self._targets):
             raise RuntimeError(

@@ -7,6 +7,9 @@ Determinism
             ``os.urandom``, ``uuid.uuid4``, ``secrets``)
 ``DET003``  unordered ``set`` / ``dict.keys`` iteration feeding ordered
             output without ``sorted()``
+``DET004``  full-world iteration (``.truths`` / ``.targets()``) inside
+            epoch-scoped code (``repro/core/epoch*``), where steady-state
+            cost must scale with the delta, not the universe
 
 Error hygiene
 -------------
@@ -45,6 +48,7 @@ __all__ = [
     "WallClockRule",
     "GlobalRandomRule",
     "UnsortedSetIterationRule",
+    "EpochFullWorldIterationRule",
     "SilentExceptRule",
     "StringDnsComparisonRule",
     "MissingTimeoutRetryRule",
@@ -690,10 +694,80 @@ class ImportLayeringRule(Rule):
                 return
 
 
+class EpochFullWorldIterationRule(Rule):
+    """DET004: epoch-scoped code must not iterate the full world.
+
+    The longitudinal loop's whole value proposition is that a
+    steady-state epoch costs O(changed), not O(universe).  A ``for``
+    loop or comprehension that walks ``<world>.truths`` or a
+    ``.targets()`` call inside ``repro/core/epoch*`` re-introduces the
+    full-world scan the incremental design exists to avoid — and, by
+    iterating generation-order mappings rather than the dataset's
+    admission order, usually a nondeterministic one too.  Bootstrap-
+    style full probes belong behind an explicit universe snapshot (a
+    plain dict taken once at construction), which this rule does not
+    match.
+    """
+
+    rule_id = "DET004"
+    description = (
+        "full-world iteration in epoch-scoped code; steady-state "
+        "epochs must scale with the delta, not the universe"
+    )
+    severity = Severity.ERROR
+    interests = (
+        ast.For,
+        ast.ListComp,
+        ast.SetComp,
+        ast.DictComp,
+        ast.GeneratorExp,
+    )
+
+    _PATH = re.compile(r"(^|/)repro/core/epoch[^/]*\.py$")
+    _VIEWS = frozenset({"values", "items", "keys"})
+
+    def _full_world_source(self, expr: ast.AST) -> Optional[str]:
+        """Describe ``expr`` if it enumerates the full world."""
+        if isinstance(expr, ast.Attribute) and expr.attr == "truths":
+            return ".truths"
+        if isinstance(expr, ast.Call) and isinstance(
+            expr.func, ast.Attribute
+        ):
+            func = expr.func
+            if func.attr == "targets" and not expr.args:
+                return ".targets()"
+            if func.attr in self._VIEWS:
+                inner = self._full_world_source(func.value)
+                if inner is not None:
+                    return f"{inner}.{func.attr}()"
+        return None
+
+    def visit(self, node: ast.AST, ctx: ModuleContext) -> Iterator[Finding]:
+        if not self._PATH.search(ctx.path):
+            return
+        if isinstance(node, ast.For):
+            iterables = [node.iter]
+        else:
+            assert isinstance(
+                node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+            )
+            iterables = [generator.iter for generator in node.generators]
+        for iterable in iterables:
+            source = self._full_world_source(iterable)
+            if source is not None:
+                yield self.finding(
+                    node,
+                    ctx,
+                    f"epoch-scoped code iterates the full world via "
+                    f"{source}; probe the changed/flagged subset instead",
+                )
+
+
 ALL_RULES: Tuple[Type[Rule], ...] = (
     WallClockRule,
     GlobalRandomRule,
     UnsortedSetIterationRule,
+    EpochFullWorldIterationRule,
     SilentExceptRule,
     StringDnsComparisonRule,
     MissingTimeoutRetryRule,

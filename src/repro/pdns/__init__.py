@@ -1,5 +1,6 @@
 """Passive-DNS substrate (Farsight DNSDB stand-in)."""
 
+from .change import ChangeSensor, CountryFeed, SensorNoise
 from .database import PdnsDatabase
 from .filtering import (
     STABILITY_THRESHOLD_DAYS,
@@ -11,6 +12,9 @@ from .record import PdnsRecord
 from .sensor import Sensor, ZoneFileImporter
 
 __all__ = [
+    "ChangeSensor",
+    "CountryFeed",
+    "SensorNoise",
     "PdnsDatabase",
     "STABILITY_THRESHOLD_DAYS",
     "filter_pre_government",

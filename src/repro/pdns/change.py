@@ -1,0 +1,143 @@
+"""Passive change detection: the sensor feeding the incremental epoch loop.
+
+Farsight-style passive DNS is what makes daily re-measurement of 147k
+domains affordable: instead of actively re-walking every delegation,
+the operator watches the passive observation stream and re-probes only
+domains whose NS footprint *plausibly* changed.  This module models
+that stream per country cohort, derived from the ground-truth
+:class:`~repro.worldgen.churn.ChurnPlan` plus seeded noise.
+
+The noise model is deliberately *sound by construction* for per-record
+coverage, and lossy only in ways the epoch runner can detect:
+
+* **False positives** — a live feed flags extra domains that did not
+  change.  Harmless: the re-probe finds no delta.
+* **Feed outages** — with probability ``feed_outage_rate`` a country's
+  sensor delivers *zero* observations for the epoch
+  (``observation_count == 0``).  A dead feed may hide real changes, but
+  it is trivially detectable from its volume, and the runner responds
+  by re-probing the whole cohort.
+* **Lying feeds** — a feed that reports healthy volume while omitting a
+  real change has no honest volume signature.  The runner's seeded
+  audit sample exists for exactly this class: an audit re-probe that
+  disagrees with the carried-forward result escalates to a full
+  re-probe of the disagreeing cohort.  :class:`ChangeSensor` never
+  fabricates this failure itself (tests inject it); the residual risk —
+  a lying feed whose omissions all dodge the audit sample — is the
+  documented approximation class in DESIGN.md §16.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Tuple
+
+from ..dns.name import DnsName
+
+__all__ = ["ChangeSensor", "CountryFeed", "SensorNoise"]
+
+
+@dataclass(frozen=True)
+class SensorNoise:
+    """Tunable noise intensities for the passive stream."""
+
+    false_positive_rate: float = 0.01
+    feed_outage_rate: float = 0.05
+
+    def __post_init__(self) -> None:
+        for name in ("false_positive_rate", "feed_outage_rate"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+
+
+QUIET_NOISE = SensorNoise(false_positive_rate=0.0, feed_outage_rate=0.0)
+
+
+@dataclass(frozen=True)
+class CountryFeed:
+    """One country's passive observations for one epoch."""
+
+    iso2: str
+    cohort: Tuple[DnsName, ...]
+    flagged: Tuple[DnsName, ...]
+    observation_count: int
+
+    @property
+    def dead(self) -> bool:
+        """A feed that delivered nothing this epoch cannot be trusted
+        to have seen anything — the runner re-probes the cohort."""
+        return self.observation_count == 0
+
+
+class ChangeSensor:
+    """Derives per-country feeds from a churn plan, with seeded noise.
+
+    Determinism: each ``(seed, scale, epoch, iso2)`` tuple names its own
+    RNG stream, so feeds are reproducible regardless of cohort
+    enumeration order or how many epochs were generated before.
+    """
+
+    def __init__(self, seed: int, scale: float, noise: SensorNoise = SensorNoise()) -> None:
+        self._seed = seed
+        self._scale = scale
+        self._noise = noise
+
+    @property
+    def noise(self) -> SensorNoise:
+        return self._noise
+
+    def _rng(self, epoch: int, iso2: str) -> random.Random:
+        return random.Random(
+            f"{self._seed}:{self._scale}:sensor:{epoch}:{iso2}"
+        )
+
+    def feeds_for(
+        self,
+        epoch: int,
+        targets: Dict[DnsName, str],
+        changed_domains: Iterable[DnsName],
+    ) -> Tuple[CountryFeed, ...]:
+        """Build every country's feed for one epoch.
+
+        ``changed_domains`` is the ground-truth changed set (the churn
+        plan's op domains); a live feed flags all of its cohort's
+        members of that set plus seeded false positives.
+        """
+        cohorts: Dict[str, List[DnsName]] = {}
+        for domain in sorted(targets):
+            cohorts.setdefault(targets[domain], []).append(domain)
+        changed = set(changed_domains)
+
+        feeds: List[CountryFeed] = []
+        for iso2 in sorted(cohorts):
+            cohort = tuple(cohorts[iso2])
+            rng = self._rng(epoch, iso2)
+            if rng.random() < self._noise.feed_outage_rate:
+                feeds.append(
+                    CountryFeed(
+                        iso2=iso2,
+                        cohort=cohort,
+                        flagged=(),
+                        observation_count=0,
+                    )
+                )
+                continue
+            flagged = [d for d in cohort if d in changed]
+            if self._noise.false_positive_rate:
+                flagged.extend(
+                    d
+                    for d in cohort
+                    if d not in changed
+                    and rng.random() < self._noise.false_positive_rate
+                )
+            feeds.append(
+                CountryFeed(
+                    iso2=iso2,
+                    cohort=cohort,
+                    flagged=tuple(sorted(flagged)),
+                    observation_count=len(cohort),
+                )
+            )
+        return tuple(feeds)

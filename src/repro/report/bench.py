@@ -26,6 +26,7 @@ import pstats
 import time
 from typing import Dict, List, Optional, Tuple
 
+from ..core.epoch import EpochRunner
 from ..core.journal import dataset_digest
 from ..core.probe import ActiveProber, ProbeConfig
 from ..core.shard import ProcessCampaignRunner, government_suffixes
@@ -43,9 +44,12 @@ from .perf import (
 __all__ = [
     "BENCH_CONFIGS",
     "DEFAULT_SHARDS",
+    "LONGITUDINAL_EPOCHS",
+    "LONGITUDINAL_LABELS",
     "check_probe_bench",
     "collect_hotspots",
     "render_hotspot_table",
+    "run_longitudinal_record",
     "run_probe_bench",
     "run_probe_record",
     "run_probe_suite",
@@ -63,6 +67,16 @@ BENCH_CONFIGS: Dict[str, Dict[str, object]] = {
     "concurrent": {"max_in_flight": 64, "zone_cut_caching": True},
     "sharded": {"max_in_flight": 64, "zone_cut_caching": True},
 }
+
+# The longitudinal epoch suite: both labels run the same churn sequence
+# on identically-seeded worlds with the concurrent engine — the *full*
+# label re-probes the whole universe each epoch (the naive baseline),
+# the *incremental* label probes only what the change sensor implicates
+# plus the audit sample.  Equal final dataset digests certify the two
+# measured the same thing; the gated query counters record how much
+# cheaper the incremental loop is per steady-state epoch.
+LONGITUDINAL_LABELS = ("longitudinal_full", "longitudinal_incremental")
+LONGITUDINAL_EPOCHS = 3
 
 
 def _now() -> float:
@@ -207,6 +221,70 @@ def run_probe_record(
     )
 
 
+def run_longitudinal_record(
+    label: str,
+    seed: int,
+    scale: float,
+    epochs: int = LONGITUDINAL_EPOCHS,
+    profiler: Optional[cProfile.Profile] = None,
+) -> PerfRecord:
+    """Run one longitudinal mode's full epoch loop and measure it.
+
+    The gated counters are *steady-state* totals (epochs 1..N; the
+    bootstrap campaign is identical in both modes and would dilute the
+    ratio), while ``responsive_domains`` and ``dataset_digest`` are the
+    final epoch's — the digest doubling as the incremental-vs-full
+    equivalence certificate.
+    """
+    if label not in LONGITUDINAL_LABELS:
+        raise ValueError(f"unknown longitudinal config: {label!r}")
+    config = ProbeConfig(**BENCH_CONFIGS["concurrent"])  # type: ignore[arg-type]
+    incremental = label == "longitudinal_incremental"
+    phases: Dict[str, float] = {}
+
+    mark = _now()
+    world = WorldGenerator(WorldConfig(seed=seed, scale=scale)).generate()
+    runner = EpochRunner(world, probe_config=config, incremental=incremental)
+    gc.freeze()
+    phases["worldgen"] = _now() - mark
+
+    if profiler is not None:
+        profiler.enable()
+    mark = _now()
+    runner.bootstrap()
+    phases["epoch0"] = _now() - mark
+    mark = _now()
+    for _ in range(epochs):
+        runner.run_epoch()
+    phases["epochs"] = _now() - mark
+    if profiler is not None:
+        profiler.disable()
+
+    gc.unfreeze()
+    gc.collect()
+
+    steady = runner.stats[1:]
+    final = runner.stats[-1]
+    simulated = sum(s.simulated_seconds for s in steady)
+    return PerfRecord(
+        label=label,
+        max_in_flight=config.max_in_flight,
+        zone_cut_caching=config.zone_cut_caching,
+        targets=len(runner.targets),
+        # Steady-state epoch cost only: bootstrap is shared overhead.
+        wall_seconds=round(phases["epochs"], 3),
+        simulated_seconds=round(simulated, 3),
+        active_seconds=round(simulated, 3),
+        queries_sent=sum(s.queries_sent for s in steady),
+        network_queries=sum(s.network_queries for s in steady),
+        timeouts=sum(s.timeouts for s in steady),
+        responsive_domains=final.responsive,
+        dataset_digest=final.epoch_digest,
+        shards=None,
+        phases={name: round(phases[name], 3) for name in sorted(phases)},
+    )
+
+
 def run_probe_bench(
     seed: int,
     scale: float,
@@ -215,15 +293,19 @@ def run_probe_bench(
     profiler: Optional[cProfile.Profile] = None,
 ) -> PerfReport:
     """Run the benchmark suite; ``serial`` (when present) is the
-    baseline for reduction ratios."""
+    baseline for reduction ratios.  Longitudinal labels dispatch to the
+    epoch-suite runner; everything else is a one-shot campaign."""
     report = PerfReport(scale=scale, seed=seed)
     for label in labels:
-        report.add(
-            run_probe_record(
+        if label in LONGITUDINAL_LABELS:
+            record = run_longitudinal_record(
+                label, seed, scale, profiler=profiler
+            )
+        else:
+            record = run_probe_record(
                 label, seed, scale, shards=shards, profiler=profiler
-            ),
-            baseline=(label == "serial"),
-        )
+            )
+        report.add(record, baseline=(label == "serial"))
     return report
 
 

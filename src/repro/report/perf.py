@@ -244,6 +244,11 @@ def gate_report(
     committed file but absent from the current run is a violation (a
     silently dropped configuration is a regression too); new records in
     the current run are allowed (that is how a record is introduced).
+
+    All violations are reported in one pass: an identity mismatch does
+    not short-circuit the record-level comparisons, so a run that both
+    drifted a field and was taken at the wrong seed reports both facts
+    instead of hiding the field drift behind the identity error.
     """
     violations: List[str] = []
     for key in ("seed", "scale"):
@@ -254,11 +259,10 @@ def gate_report(
                 f"benchmark identity mismatch: {key} is {current_value}, "
                 f"committed file was recorded at {committed_value}"
             )
-    if violations:
-        return violations
     records = committed.get("records")
     if not isinstance(records, dict):
-        return ["committed payload has no records mapping"]
+        violations.append("committed payload has no records mapping")
+        return violations
     for label in sorted(records):
         reference = records[label]
         try:

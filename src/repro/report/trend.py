@@ -1,0 +1,165 @@
+"""Longitudinal trend report: per-epoch series and simple regressions.
+
+The paper's longitudinal sections read deployment health as a time
+series — responsive share, defect prevalence, churn volume — rather
+than as one snapshot.  This module renders those series from an
+:class:`~repro.core.epoch.EpochRunner`'s accumulated epochs, plus the
+least-squares trend slopes a follow-up resilience study would regress
+on.  The payload is canonical (sorted keys, deterministic rounding) and
+carries the per-epoch digest chain, so two runs that agree on the
+measurements agree on the report bytes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Dict, List, Sequence
+
+from ..core.dataset import DEFECT_FULL, DEFECT_PARTIAL, UNCLASSIFIED
+from ..core.epoch import EpochRunner
+from .export import to_json
+
+__all__ = ["TrendReport", "linear_slope"]
+
+
+def linear_slope(values: Sequence[float]) -> float:
+    """Least-squares slope of ``values`` against epoch index 0..n-1."""
+    n = len(values)
+    if n < 2:
+        return 0.0
+    mean_x = (n - 1) / 2.0
+    mean_y = sum(values) / n
+    num = sum((i - mean_x) * (v - mean_y) for i, v in enumerate(values))
+    den = sum((i - mean_x) ** 2 for i in range(n))
+    return num / den if den else 0.0
+
+
+class TrendReport:
+    """Per-epoch series + regression slopes for one longitudinal run."""
+
+    def __init__(
+        self,
+        seed: int,
+        scale: float,
+        incremental: bool,
+        rows: List[Dict[str, object]],
+    ) -> None:
+        self.seed = seed
+        self.scale = scale
+        self.incremental = incremental
+        self.rows = rows
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_runner(cls, runner: EpochRunner) -> "TrendReport":
+        dataset = runner.dataset
+        targets = len(runner.targets)
+        rows: List[Dict[str, object]] = []
+        for stats in runner.stats:
+            columns = dataset.columns_at(stats.epoch)
+            classified = len(columns) - columns.defect_verdict.count(
+                UNCLASSIFIED
+            )
+            partial = columns.defect_verdict.count(DEFECT_PARTIAL)
+            full = columns.defect_verdict.count(DEFECT_FULL)
+            row = stats.to_dict()
+            row["responsive_share"] = round(
+                stats.responsive / targets, 6
+            ) if targets else 0.0
+            row["defective_share"] = round(
+                (partial + full) / classified, 6
+            ) if classified else 0.0
+            rows.append(row)
+        world = runner.world
+        return cls(
+            seed=world.config.seed,
+            scale=world.config.scale,
+            incremental=runner.incremental,
+            rows=rows,
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def epochs(self) -> int:
+        return len(self.rows)
+
+    def series(self, key: str) -> List[float]:
+        return [float(row[key]) for row in self.rows]  # type: ignore[arg-type]
+
+    def steady_state_queries(self) -> int:
+        """Total probe queries across epochs 1..N (bootstrap excluded)."""
+        return sum(int(row["queries_sent"]) for row in self.rows[1:])
+
+    def payload(self) -> Dict[str, object]:
+        trends = {
+            "responsive_share_slope": round(
+                linear_slope(self.series("responsive_share")), 8
+            ),
+            "defective_share_slope": round(
+                linear_slope(self.series("defective_share")), 8
+            ),
+            "changed_per_epoch": round(
+                sum(self.series("changed")[1:]) / max(1, self.epochs - 1), 3
+            ),
+        }
+        return {
+            "format": 1,
+            "kind": "longitudinal-trend",
+            "seed": self.seed,
+            "scale": self.scale,
+            "incremental": self.incremental,
+            "epochs": self.epochs,
+            "steady_state_queries": self.steady_state_queries(),
+            "trends": trends,
+            "rows": self.rows,
+        }
+
+    def to_json(self) -> str:
+        return to_json(self.payload())
+
+    def digest(self) -> str:
+        blob = json.dumps(
+            self.payload(), sort_keys=True, separators=(",", ":")
+        ).encode()
+        return hashlib.sha256(blob).hexdigest()
+
+    def write(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.to_json())
+            fh.write("\n")
+
+    # ------------------------------------------------------------------
+    def render(self) -> str:
+        """Fixed-width text table, one row per epoch."""
+        lines = [
+            f"Longitudinal trend (seed={self.seed}, scale={self.scale}, "
+            f"mode={'incremental' if self.incremental else 'full'})",
+            f"{'epoch':>5} {'probed':>7} {'changed':>7} {'queries':>8} "
+            f"{'resp%':>7} {'defect%':>8} {'dead':>5} {'esc':>4}  digest",
+        ]
+        for row in self.rows:
+            lines.append(
+                f"{row['epoch']:>5} {row['probed']:>7} {row['changed']:>7} "
+                f"{row['queries_sent']:>8} "
+                f"{100 * float(row['responsive_share']):>6.2f}% "
+                f"{100 * float(row['defective_share']):>7.2f}% "
+                f"{len(row['dead_feeds']):>5} {len(row['escalated']):>4}  "
+                f"{str(row['epoch_digest'])[:12]}"
+            )
+        payload = self.payload()
+        trends = payload["trends"]
+        lines.append(
+            "trend: responsive_share_slope="
+        )
+        lines[-1] += (
+            f"{trends['responsive_share_slope']:+.6f}/epoch, "  # type: ignore[index]
+            f"defective_share_slope="
+            f"{trends['defective_share_slope']:+.6f}/epoch"  # type: ignore[index]
+        )
+        if self.epochs > 1:
+            lines.append(
+                f"steady-state queries/epoch: "
+                f"{self.steady_state_queries() / (self.epochs - 1):.0f}"
+            )
+        return "\n".join(lines)

@@ -1,5 +1,6 @@
 """Synthetic-world generation: the stand-in for the real Internet."""
 
+from .churn import ChurnOp, ChurnPlan, advance_world, build_churn_plan, world_at_epoch
 from .config import YEARS, WorldConfig
 from .countries import CountryProfile, TOP10_ISO2, build_profiles
 from .deployment import AddressPlanner, NsHost, NsSet, PrivateHoster, ProviderInstance
@@ -19,6 +20,11 @@ from .history import (
 from .providers import PROVIDERS, NsLayout, ProviderSpec, provider_by_key
 
 __all__ = [
+    "ChurnOp",
+    "ChurnPlan",
+    "advance_world",
+    "build_churn_plan",
+    "world_at_epoch",
     "YEARS",
     "WorldConfig",
     "CountryProfile",

@@ -116,6 +116,53 @@ class TestDET003UnsortedSetIteration:
         assert rule_ids(snippet) == []
 
 
+class TestDET004EpochFullWorldIteration:
+    EPOCH_PATH = "src/repro/core/epoch_runner.py"
+
+    def test_truths_for_loop_fires_in_epoch_module(self):
+        snippet = """
+            def scan(world):
+                out = []
+                for name in world.truths:
+                    out.append(name)
+                return out
+        """
+        assert rule_ids(snippet, path=self.EPOCH_PATH) == ["DET004"]
+
+    def test_targets_call_comprehension_fires(self):
+        snippet = "rows = [probe(d) for d in study.targets()]\n"
+        assert rule_ids(snippet, path=self.EPOCH_PATH) == ["DET004"]
+
+    def test_truths_dict_view_fires(self):
+        snippet = """
+            def scan(world):
+                for name, truth in world.truths.items():
+                    yield truth
+        """
+        assert rule_ids(snippet, path=self.EPOCH_PATH) == ["DET004"]
+
+    def test_same_code_outside_epoch_paths_is_clean(self):
+        snippet = "rows = [probe(d) for d in study.targets()]\n"
+        assert rule_ids(snippet, path="src/repro/core/study.py") == []
+        assert rule_ids(snippet) == []
+
+    def test_subset_iteration_in_epoch_module_is_clean(self):
+        snippet = """
+            def reprobe(flagged, targets):
+                return {d: targets[d] for d in sorted(flagged)}
+        """
+        assert rule_ids(snippet, path=self.EPOCH_PATH) == []
+
+    def test_universe_snapshot_attribute_is_clean(self):
+        # A plain dict snapshot taken at construction is the sanctioned
+        # full-probe path (bootstrap); only .truths/.targets() fire.
+        snippet = """
+            def bootstrap(self):
+                return {d: probe(d) for d in self._targets}
+        """
+        assert rule_ids(snippet, path=self.EPOCH_PATH) == []
+
+
 class TestERR001SilentExcept:
     def test_broad_except_pass_fires_once(self):
         ids = rule_ids(

@@ -23,6 +23,7 @@ from repro.report.perf import (
     PerfRecord,
     PerfReport,
     PerfSuite,
+    gate_report,
     gate_suite,
     scale_payloads,
 )
@@ -122,6 +123,44 @@ class TestGateSuite:
             self.committed(),
         )
         assert violations == []
+
+    def test_identity_mismatch_does_not_hide_field_drift(self):
+        # A run taken at the wrong seed that ALSO drifted two counters
+        # must report all three facts in one pass, not stop at the
+        # identity error (first-violation exits hid multi-field
+        # regressions).
+        current = PerfReport(scale=0.05, seed=7)
+        current.add(record(queries_sent=1000, timeouts=3), baseline=True)
+        reference = PerfReport(scale=0.05, seed=9)
+        reference.add(record(queries_sent=1234, timeouts=8), baseline=True)
+        violations = gate_report(current, json.loads(reference.to_json()))
+        assert len(violations) == 3
+        assert any(
+            "identity mismatch: seed" in violation for violation in violations
+        )
+        assert any(
+            "serial.queries_sent" in violation for violation in violations
+        )
+        assert any("serial.timeouts" in violation for violation in violations)
+
+    def test_every_drifted_field_of_a_record_is_reported(self):
+        violations = gate_report(
+            suite(scales=(0.05,)).reports[0.05],
+            json.loads(
+                suite(
+                    scales=(0.05,),
+                    queries_sent=1,
+                    network_queries=2,
+                    dataset_digest="cd" * 32,
+                ).to_json()
+            )["scales"]["0.05"],
+        )
+        drifted = {v.split(":")[0].split(".")[1] for v in violations}
+        assert drifted == {
+            "queries_sent",
+            "network_queries",
+            "dataset_digest",
+        }
 
 
 class TestHotspotSurface:
